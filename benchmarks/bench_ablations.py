@@ -1,0 +1,132 @@
+"""Ablations for the design choices the paper calls out.
+
+* warps per block (Section 6 intro: NW=2 is ~1.4x slower for Warp-level
+  MS and ~2x slower for Block-level MS than the chosen NW=8),
+* recompute-vs-reload of the post-scan histograms (Section 5.1
+  footnote 6: recomputation beats storing/reloading bucket ids),
+* histogram strategy (Section 2: ballot-based vs shared-atomic vs
+  per-thread-private, the related-work alternatives),
+* local reordering on/off (Direct vs Warp-level vs Block-level).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import run_method
+from repro.analysis.tables import render_table
+from repro.multisplit import RangeBuckets, warp_histogram
+from repro.primitives import histogram_atomic, histogram_per_thread
+from repro.simt import Device, K40C, CostModel, WarpGang
+from repro.workloads import uniform_keys
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_warps_per_block_sweep(benchmark, emulate_n, artifact):
+    def experiment():
+        out = {}
+        for meth in ("warp", "block"):
+            for nw in (2, 4, 8, 16):
+                out[(meth, nw)] = run_method(meth, 8, n=emulate_n,
+                                             warps_per_block=nw)
+        return out
+
+    pts = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = []
+    for meth in ("warp", "block"):
+        base = pts[(meth, 8)].total_ms
+        rows.append([meth] + [f"{pts[(meth, nw)].total_ms / base:.2f}x"
+                              for nw in (2, 4, 8, 16)])
+    artifact("ablation_warps_per_block", render_table(
+        ["method", "NW=2", "NW=4", "NW=8", "NW=16"], rows,
+        title="slowdown vs NW=8 (paper: warp 1.4x, block 2x at NW=2), m=8"))
+    # block-level is the more sensitive method, as the paper observes
+    slow_warp = pts[("warp", 2)].total_ms / pts[("warp", 8)].total_ms
+    slow_block = pts[("block", 2)].total_ms / pts[("block", 8)].total_ms
+    assert slow_block > slow_warp >= 1.0
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_recompute_vs_reload(benchmark, emulate_n, artifact):
+    """Footnote 6: post-scan recomputation vs storing/reloading bucket ids."""
+
+    def experiment():
+        return run_method("direct", 8, n=emulate_n)
+
+    p = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    model = CostModel(K40C)
+    total_recompute = p.total_ms
+    # reload variant: pre-scan additionally writes the n bucket ids;
+    # post-scan reads them back but skips the ballot recomputation
+    variant = 0.0
+    for rec in p.timeline.records:
+        c = rec.counters.copy()
+        if rec.stage == "prescan":
+            c.global_write_bytes_useful += p.n * 4
+            c.global_write_sectors += p.n * 4 // 32
+        if rec.stage == "postscan":
+            c.global_read_bytes_useful += p.n * 4
+            c.global_read_sectors += p.n * 4 // 32
+            c.warp_instructions = int(c.warp_instructions * 0.55)  # skip Alg 2/3 rounds
+        variant += model.kernel_time_ms(c)
+    artifact("ablation_recompute", (
+        f"Direct MS m=8, n=2^25 (key-only)\n"
+        f"  recompute histograms in post-scan (paper's choice): "
+        f"{total_recompute:.2f} ms\n"
+        f"  store + reload bucket ids instead:                  "
+        f"{variant:.2f} ms\n"
+        f"  recomputation wins by {variant / total_recompute:.2f}x"))
+    assert total_recompute < variant
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_histogram_strategies(benchmark, emulate_n, artifact):
+    """Ballot-based warp histograms vs the related-work alternatives."""
+    n = min(emulate_n, 1 << 19)
+    rows = []
+
+    def experiment():
+        out = {}
+        for m in (4, 32):
+            rng = np.random.default_rng(0)
+            ids = (uniform_keys(n, m, rng) >> np.uint32(27)).astype(np.int64) % m
+            dev = Device(K40C)
+            with dev.kernel("histogram:ballot") as k:
+                k.gmem.read_streaming(n, 4)
+                gang = k.gang(n // 32)
+                warp_histogram(gang, ids[:n - n % 32].reshape(-1, 32), m)
+                k.gmem.write_streaming((n // 32) * m, 4)
+            out[("ballot", m)] = dev.total_ms
+            dev = Device(K40C)
+            histogram_atomic(dev, ids, m)
+            out[("atomic", m)] = dev.total_ms
+            dev = Device(K40C)
+            histogram_per_thread(dev, ids, m)
+            out[("per_thread", m)] = dev.total_ms
+        return out
+
+    t = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    for strat in ("ballot", "atomic", "per_thread"):
+        rows.append([strat, f"{t[(strat, 4)] * 1e3:.1f}", f"{t[(strat, 32)] * 1e3:.1f}"])
+    artifact("ablation_histograms", render_table(
+        ["strategy", "m=4 (us)", "m=32 (us)"], rows,
+        title=f"device histogram strategies, n={n}"))
+    # few buckets: atomic contention hurts; ballot competitive everywhere
+    assert t[("ballot", 4)] < t[("atomic", 4)]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_reordering_ablation(benchmark, emulate_n, artifact):
+    """Reordering off (Direct) -> warp -> block, key-value where it matters."""
+
+    def experiment():
+        return {meth: run_method(meth, 32, key_value=True, n=emulate_n)
+                for meth in ("direct", "warp", "block")}
+
+    pts = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [[meth, f"{p.total_ms:.2f}",
+             f"{p.timeline.records[-1].counters.global_write_sectors:,}"]
+            for meth, p in pts.items()]
+    artifact("ablation_reordering", render_table(
+        ["method", "total ms", "final-scatter write sectors"], rows,
+        title="reordering ablation, m=32 key-value, n=2^25"))
+    assert pts["block"].total_ms < pts["direct"].total_ms

@@ -1,0 +1,60 @@
+"""Figure 2: how local reordering groups keys within subproblems.
+
+Renders the figure's picture (bucket held by each thread slot over a
+256-key window, before/after warp- and block-level reordering) and
+quantifies the scatter-locality effect the picture illustrates: warp
+reordering minimizes lane-order segment issue runs without changing the
+per-warp sector set; block reordering also cuts the sector count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import scatter_stats, figure2_layout
+from repro.analysis.tables import render_table
+from repro.workloads import uniform_keys
+from repro.multisplit import RangeBuckets
+
+
+def _glyph_row(ids, m):
+    glyphs = "0123456789abcdefghijklmnopqrstuv"
+    return "".join(glyphs[int(i)] for i in ids[:128])
+
+
+@pytest.mark.benchmark(group="fig2")
+@pytest.mark.parametrize("m", [2, 8])
+def test_figure2(benchmark, m, emulate_n, artifact):
+    rng = np.random.default_rng(0)
+    keys = uniform_keys(max(emulate_n, 1 << 16), m, rng)
+    ids = RangeBuckets(m)(keys).astype(np.int64)
+
+    def experiment():
+        return {
+            "direct": scatter_stats(ids, m, 32, reordered=False),
+            "warp": scatter_stats(ids, m, 32, reordered=True),
+            "block": scatter_stats(ids, m, 256, reordered=True),
+        }
+
+    stats = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    window = ids[:256]
+    lines = [f"Figure 2 (m={m}): bucket of each thread slot, 128-key window"]
+    lines.append(f"initial          {_glyph_row(window, m)}")
+    lines.append(f"warp reordered   {_glyph_row(figure2_layout(window, m, 32, reordered=True), m)}")
+    lines.append(f"block reordered  {_glyph_row(figure2_layout(window, m, 256, reordered=True), m)}")
+    rows = [[name, f"{s.mean_sectors_per_warp:.2f}", f"{s.mean_issue_runs_per_warp:.2f}",
+             f"{s.mean_run_length:.2f}"] for name, s in stats.items()]
+    lines.append("")
+    lines.append(render_table(
+        ["layout", "sectors/warp", "issue runs/warp", "mean run length"], rows,
+        title="final-scatter locality (lower sectors/runs = better)"))
+    artifact(f"fig2_m{m}", "\n".join(lines))
+
+    # the quantitative content of the figure
+    d, w, b = stats["direct"], stats["warp"], stats["block"]
+    assert w.mean_sectors_per_warp == pytest.approx(d.mean_sectors_per_warp, rel=0.01)
+    assert w.mean_issue_runs_per_warp < d.mean_issue_runs_per_warp
+    assert b.mean_sectors_per_warp <= w.mean_sectors_per_warp
+    assert b.mean_run_length > w.mean_run_length > d.mean_run_length
+    # run length scales with subproblem size / m
+    assert w.mean_run_length == pytest.approx(32 / m, rel=0.25)
+    assert b.mean_run_length == pytest.approx(256 / m, rel=0.25)

@@ -1,0 +1,51 @@
+"""Figure 3: average running time vs number of buckets (m <= 32).
+
+The figure's structure: warp-level MS is the fastest choice for small m,
+block-level MS for large m, with all three proposed methods and
+reduced-bit sort crossing in between.
+Paper crossovers: warp best for m <= ~6 (key) / ~5 (kv); block best for
+m >= ~22 (key) / ~16 (kv).
+"""
+
+import pytest
+
+from repro.analysis import run_method
+from repro.analysis.tables import render_series
+
+MS = (2, 3, 4, 6, 8, 12, 16, 20, 24, 28, 32)
+METHODS = ("direct", "warp", "block", "reduced_bit")
+
+
+@pytest.mark.benchmark(group="fig3")
+@pytest.mark.parametrize("kind", ["key", "kv"])
+def test_figure3(benchmark, kind, emulate_n, artifact):
+    kv = kind == "kv"
+
+    def experiment():
+        return {(meth, m): run_method(meth, m, key_value=kv, n=emulate_n)
+                for meth in METHODS for m in MS}
+
+    points = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    times = {meth: [points[(meth, m)].total_ms for m in MS] for meth in METHODS}
+    lines = [f"Figure 3 ({kind}): avg running time (ms) vs m, n=2^25, K40c"]
+    for meth in METHODS:
+        lines.append(render_series(f"{meth:12s}", MS, times[meth]))
+    # report the measured crossovers
+    best = {m: min(METHODS, key=lambda meth: points[(meth, m)].total_ms) for m in MS}
+    warp_max = max((m for m in MS if best[m] == "warp"), default=None)
+    block_min = min((m for m in MS if best[m] == "block"), default=None)
+    lines.append(f"warp-level fastest up to m={warp_max} "
+                 f"(paper: {6 if not kv else 5})")
+    lines.append(f"block-level fastest from m={block_min} "
+                 f"(paper: {22 if not kv else 16})")
+    artifact(f"fig3_{kind}", "\n".join(lines))
+
+    # shape assertions
+    assert best[2] == "warp"
+    assert best[32] == "block"
+    assert warp_max is not None and 2 <= warp_max <= 16
+    assert block_min is not None and 8 <= block_min <= 32
+    # every method's time is non-decreasing-ish in m (allow 5% jitter)
+    for meth in METHODS:
+        t = times[meth]
+        assert all(b > a * 0.95 for a, b in zip(t, t[1:])), meth

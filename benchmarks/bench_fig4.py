@@ -1,0 +1,56 @@
+"""Figure 4: m > 32 — Block-level MS vs reduced-bit sort, n = 2^24.
+
+The paper's shape: block-level MS degrades roughly linearly in m
+(per-thread bitmap state, shared-memory footprint, growing global scan)
+and meets radix sort's flat line near m ~192 (key) / ~224 (kv);
+reduced-bit sort grows only logarithmically (one extra pass per 8 label
+bits) and converges to radix sort around 32k (key) / 16k (kv) buckets.
+"""
+
+import pytest
+
+from repro.analysis import run_method, run_radix_baseline
+from repro.analysis.tables import render_series
+
+N_REPORT = 1 << 24  # the figure uses 16M elements
+BLOCK_MS = (32, 64, 96, 128, 192, 256, 512, 1024, 2048)
+RBS_MS = (32, 64, 96, 128, 192, 256, 512, 1024, 4096, 16384, 65536)
+
+
+@pytest.mark.benchmark(group="fig4")
+@pytest.mark.parametrize("kind", ["key", "kv"])
+def test_figure4(benchmark, kind, emulate_n, artifact):
+    kv = kind == "kv"
+    n_emul = min(emulate_n, 1 << 20)  # block-level histogram matrix guard
+
+    def experiment():
+        block = {m: run_method("block", m, key_value=kv, n=n_emul,
+                               n_report=N_REPORT) for m in BLOCK_MS}
+        rbs = {m: run_method("reduced_bit", m, key_value=kv, n=n_emul,
+                             n_report=N_REPORT) for m in RBS_MS}
+        radix = run_radix_baseline(key_value=kv, n=n_emul, n_report=N_REPORT)
+        return block, rbs, radix
+
+    block, rbs, radix = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    t_block = [block[m].total_ms for m in BLOCK_MS]
+    t_rbs = [rbs[m].total_ms for m in RBS_MS]
+    lines = [f"Figure 4 ({kind}): time (ms) vs m, n=2^24, K40c; "
+             f"radix sort = {radix.total_ms:.2f} ms"]
+    lines.append(render_series("block-level ", BLOCK_MS, t_block))
+    lines.append(render_series("reduced-bit ", RBS_MS, t_rbs))
+    cross = next((m for m, t in zip(BLOCK_MS, t_block) if t > radix.total_ms), None)
+    lines.append(f"block-level crosses radix sort at m~{cross} "
+                 f"(paper: ~{192 if not kv else 224})")
+    artifact(f"fig4_{kind}", "\n".join(lines))
+
+    # shape assertions
+    assert all(b >= a for a, b in zip(t_block, t_block[1:]))  # monotone growth
+    # block-level beats reduced-bit at m=32..64, loses by m>=512
+    assert block[64].total_ms < rbs[64].total_ms * 1.1
+    assert rbs[512].total_ms < block[512].total_ms
+    # block-level crosses radix somewhere in the figure's range
+    assert cross is not None and 96 <= cross <= 2048
+    # reduced-bit grows slowly: 65536 buckets costs < 3x its 32-bucket time
+    assert rbs[65536].total_ms < 3 * rbs[32].total_ms
+    # and approaches (without wildly exceeding) radix sort
+    assert rbs[65536].total_ms < 1.6 * radix.total_ms

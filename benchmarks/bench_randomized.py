@@ -1,0 +1,50 @@
+"""Section 3.5: the randomized dart-throwing baseline and its relaxation
+tradeoff.
+
+Paper: the best setting was x = 2, and "even then the performance from
+such a method was around 2 times slower than a radix sort" — contention
+(small x) trades against memory traffic and compaction work (large x).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_series
+from repro.multisplit import RangeBuckets, randomized_multisplit
+from repro.simt import Device, K40C
+from repro.sort import radix_sort
+from repro.workloads import uniform_keys
+
+RELAXATIONS = (1.1, 1.25, 1.5, 2.0, 3.0, 4.0, 6.0)
+
+
+@pytest.mark.benchmark(group="randomized")
+def test_randomized_relaxation_sweep(benchmark, emulate_n, artifact):
+    m = 8
+    n = min(emulate_n, 1 << 19)
+    rng = np.random.default_rng(0)
+    keys = uniform_keys(n, m, rng)
+
+    def experiment():
+        times = {}
+        for x in RELAXATIONS:
+            res = randomized_multisplit(keys, RangeBuckets(m), relaxation=x, seed=1)
+            times[x] = res.simulated_ms
+        dev = Device(K40C)
+        radix_sort(dev, keys.copy())
+        return times, dev.total_ms
+
+    times, radix = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    best_x = min(times, key=times.get)
+    artifact("randomized_relaxation", "\n".join([
+        "Section 3.5: randomized insertion, time (ms) vs relaxation x "
+        f"(n={n}, m={m}); radix sort = {radix:.3f} ms",
+        render_series("randomized", RELAXATIONS, [times[x] for x in RELAXATIONS]),
+        f"best x = {best_x} (paper: 2), {times[best_x] / radix:.2f}x radix sort "
+        "(paper: ~2x slower)",
+    ]))
+
+    # shape: tiny x drowns in collisions; best setting is ~2x radix sort
+    assert times[1.1] > 2 * times[2.0]
+    assert 2.0 <= best_x <= 4.0
+    assert 1.3 < times[2.0] / radix < 3.5

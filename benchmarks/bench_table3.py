@@ -1,0 +1,37 @@
+"""Table 3: radix sort and scan-based split baselines, 2 buckets, n = 2^25.
+
+Paper (K40c): radix sort 22.36 ms key / 37.36 ms kv; scan-based split
+5.55 ms key / 6.96 ms kv.
+"""
+
+import pytest
+
+from repro.analysis import run_method, run_radix_baseline, N_PAPER
+from repro.analysis.paper_data import TABLE3
+from repro.analysis.tables import render_table
+
+
+@pytest.mark.benchmark(group="table3")
+@pytest.mark.parametrize("kind", ["key", "kv"])
+def test_table3(benchmark, kind, emulate_n, artifact):
+    kv = kind == "kv"
+
+    def experiment():
+        radix = run_radix_baseline(key_value=kv, n=emulate_n)
+        split = run_method("scan_split", 2, key_value=kv, n=emulate_n)
+        return radix, split
+
+    radix, split = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = []
+    for name, point in (("radix_sort", radix), ("scan_split", split)):
+        paper_ms, paper_rate = TABLE3[(name, kind)]
+        rows.append([
+            name, f"{point.total_ms:.2f}", f"{paper_ms:.2f}",
+            f"{point.gkeys:.2f}", f"{paper_rate:.2f}",
+        ])
+        benchmark.extra_info[f"{name}_ms"] = round(point.total_ms, 3)
+    artifact(f"table3_{kind}", render_table(
+        ["method", "model ms", "paper ms", "model Gkeys/s", "paper Gkeys/s"],
+        rows, title=f"Table 3 ({kind}), n=2^25, uniform over 2 buckets"))
+    # shape assertions: split is several times faster than a full sort
+    assert split.total_ms < radix.total_ms / 2

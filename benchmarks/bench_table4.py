@@ -1,0 +1,100 @@
+"""Table 4: per-stage running time of every method, m in {2, 8, 32}, n = 2^25.
+
+Regenerates the paper's stage breakdown (pre-scan / scan / post-scan for
+the proposed methods; labeling / sorting / packing for reduced-bit sort;
+the ideal lower bound for recursive scan-based split; radix sort on
+identity buckets) and prints it next to the published numbers.
+"""
+
+import pytest
+
+from repro.analysis import run_method, N_PAPER
+from repro.analysis.paper_data import TABLE4
+from repro.analysis.tables import render_table
+from repro.multisplit import recursive_split_lower_bound_ms
+
+MS = (2, 8, 32)
+
+
+@pytest.mark.benchmark(group="table4")
+@pytest.mark.parametrize("kind", ["key", "kv"])
+def test_table4_proposed_methods(benchmark, kind, emulate_n, artifact):
+    kv = kind == "kv"
+
+    def experiment():
+        return {
+            (meth, m): run_method(meth, m, key_value=kv, n=emulate_n)
+            for meth in ("direct", "warp", "block") for m in MS
+        }
+
+    points = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = []
+    for meth in ("direct", "warp", "block"):
+        for m in MS:
+            p = points[(meth, m)]
+            pap = TABLE4[(meth, kind)][m]
+            st = p.stages()
+            rows.append([
+                meth, m,
+                f"{st.get('prescan', 0):.2f}", f"{pap['prescan']:.2f}",
+                f"{st.get('scan', 0):.2f}", f"{pap['scan']:.2f}",
+                f"{st.get('postscan', 0):.2f}", f"{pap['postscan']:.2f}",
+                f"{p.total_ms:.2f}", f"{pap['total']:.2f}",
+            ])
+    artifact(f"table4_{kind}_proposed", render_table(
+        ["method", "m", "pre", "pre(paper)", "scan", "scan(paper)",
+         "post", "post(paper)", "total", "total(paper)"],
+        rows, title=f"Table 4 ({kind}): proposed methods, per stage, ms at n=2^25"))
+
+    # shape: scan stage grows with m, and block-level's scan is smallest
+    for m in MS:
+        assert points[("block", m)].stage_ms("scan") < points[("direct", m)].stage_ms("scan")
+    assert points[("direct", 32)].stage_ms("scan") > points[("direct", 2)].stage_ms("scan")
+
+
+@pytest.mark.benchmark(group="table4")
+@pytest.mark.parametrize("kind", ["key", "kv"])
+def test_table4_baselines(benchmark, kind, emulate_n, artifact):
+    kv = kind == "kv"
+
+    def experiment():
+        out = {}
+        for m in MS:
+            out[("reduced_bit", m)] = run_method("reduced_bit", m, key_value=kv,
+                                                 n=emulate_n)
+            out[("identity_sort", m)] = run_method(
+                "identity_sort", m, key_value=kv, n=emulate_n,
+                distribution="identity")
+            out[("scan_split", m)] = run_method("scan_split", 2, key_value=kv,
+                                                n=emulate_n)
+        return out
+
+    points = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = []
+    for m in MS:
+        p = points[("reduced_bit", m)]
+        pap = TABLE4[("reduced_bit", kind)][m]
+        st = p.stages()
+        pack = st.get("pack", 0) + st.get("unpack", 0)
+        rows.append([
+            "reduced_bit", m,
+            f"label {st.get('labeling', 0):.2f}/{pap['labeling']:.2f}",
+            f"sort {st.get('sort', 0):.2f}/{pap['sort']:.2f}",
+            f"pack {pack:.2f}/{pap['pack_unpack']:.2f}",
+            f"{p.total_ms:.2f}", f"{pap['total']:.2f}",
+        ])
+    for m in MS:
+        split_ms = points[("scan_split", m)].total_ms
+        bound = recursive_split_lower_bound_ms(split_ms, m)
+        pap = TABLE4[("recursive_split_bound", kind)][m]["total"]
+        rows.append(["recursive_split(bound)", m, "-", "-", "-",
+                     f"{bound:.2f}", f"{pap:.2f}"])
+    for m in MS:
+        p = points[("identity_sort", m)]
+        pap = TABLE4[("identity_sort", kind)][m]["total"]
+        rows.append(["identity_sort", m, "-", "-", "-",
+                     f"{p.total_ms:.2f}", f"{pap:.2f}"])
+    artifact(f"table4_{kind}_baselines", render_table(
+        ["method", "m", "stage1 model/paper", "stage2", "stage3",
+         "total", "total(paper)"],
+        rows, title=f"Table 4 ({kind}): baselines, ms at n=2^25"))

@@ -1,0 +1,52 @@
+"""Table 5 + Section 6.2.2: processing rates (G keys/s) and speed of light.
+
+Paper peaks: warp-level MS at 10.04 G keys/s (m=2, key-only) against a
+24 G keys/s bound; 14.4 G pairs/s bound for key-value.
+"""
+
+import pytest
+
+from repro.analysis import run_method, speed_of_light_gkeys
+from repro.analysis.paper_data import TABLE5, SPEED_OF_LIGHT
+from repro.analysis.tables import render_table
+from repro.simt import K40C
+
+MS = (2, 4, 8, 16, 32)
+METHODS = ("direct", "warp", "block", "reduced_bit")
+
+
+@pytest.mark.benchmark(group="table5")
+@pytest.mark.parametrize("kind", ["key", "kv"])
+def test_table5_rates(benchmark, kind, emulate_n, artifact):
+    kv = kind == "kv"
+
+    def experiment():
+        return {(meth, m): run_method(meth, m, key_value=kv, n=emulate_n)
+                for meth in METHODS for m in MS}
+
+    points = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = []
+    for meth in METHODS:
+        model = [points[(meth, m)].gkeys for m in MS]
+        paper = [TABLE5[(meth, kind)][m] for m in MS]
+        rows.append([meth]
+                    + [f"{mo:.2f}/{pa:.2f}" for mo, pa in zip(model, paper)])
+    sol = speed_of_light_gkeys(K40C, key_value=kv)
+    artifact(f"table5_{kind}", render_table(
+        ["method"] + [f"m={m} (model/paper)" for m in MS], rows,
+        title=(f"Table 5 ({kind}): G keys/s at n=2^25 — "
+               f"speed of light {sol:.1f} (paper {SPEED_OF_LIGHT[kind]})")))
+
+    # shape assertions
+    assert abs(sol - SPEED_OF_LIGHT[kind]) < 0.01
+    # rates decrease with m for the warp-level method
+    warp = [points[("warp", m)].gkeys for m in MS]
+    assert all(a >= b for a, b in zip(warp, warp[1:]))
+    # nothing beats the speed of light
+    for p in points.values():
+        assert p.gkeys < sol
+    # peak throughput is warp-level at m=2 and within the paper's band
+    peak = points[("warp", 2)].gkeys
+    assert peak == max(p.gkeys for p in points.values())
+    if not kv:
+        assert 7.0 < peak < 13.0  # paper: 10.04

@@ -1,0 +1,52 @@
+"""What-if device study: do the paper's conclusions transfer to a
+bigger GPU?
+
+Extrapolates a GM200 (Titan-X-class) profile from datasheet numbers
+with `repro.simt.devices.make_device` (calibrated efficiencies
+inherited from the Maxwell profile, throughputs scaled) and re-runs the
+Figure 3 sweep. The *structure* — warp-level best at small m,
+block-level best at large m, everything well above radix sort — should
+be device-invariant; this bench asserts exactly that, which is also the
+paper's own cross-architecture argument (Section 6.3).
+"""
+
+import pytest
+
+from repro.analysis import run_method, run_radix_baseline
+from repro.analysis.tables import render_series
+from repro.simt.devices import TITAN_X_LIKE
+from repro.simt import GTX750TI
+
+MS = (2, 4, 8, 16, 32)
+METHODS = ("direct", "warp", "block")
+
+
+@pytest.mark.benchmark(group="whatif")
+def test_whatif_titan_x(benchmark, emulate_n, artifact):
+    def experiment():
+        pts = {(meth, m): run_method(meth, m, n=emulate_n, spec=TITAN_X_LIKE)
+               for meth in METHODS for m in MS}
+        radix = run_radix_baseline(n=emulate_n, spec=TITAN_X_LIKE)
+        base = {(meth, m): run_method(meth, m, n=emulate_n, spec=GTX750TI)
+                for meth in METHODS for m in MS}
+        return pts, radix, base
+
+    pts, radix, base = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    lines = [f"what-if: {TITAN_X_LIKE.name} (extrapolated profile), "
+             f"n=2^25 key-only; radix sort = {radix.total_ms:.2f} ms"]
+    for meth in METHODS:
+        lines.append(render_series(f"{meth:8s}", MS,
+                                   [pts[(meth, m)].total_ms for m in MS]))
+    speedup = {m: radix.total_ms / min(pts[(meth, m)].total_ms for meth in METHODS)
+               for m in MS}
+    lines.append("best-method speedup vs radix: "
+                 + "  ".join(f"m={m}:{s:.1f}x" for m, s in speedup.items()))
+    artifact("whatif_titan_x", "\n".join(lines))
+
+    # structure is device-invariant
+    assert pts[("warp", 2)].total_ms < pts[("block", 2)].total_ms
+    assert pts[("block", 32)].total_ms < pts[("direct", 32)].total_ms
+    assert all(s > 2.0 for s in speedup.values())
+    # and the bigger part is simply faster than the 750 Ti everywhere
+    for key, p in pts.items():
+        assert p.total_ms < base[key].total_ms

@@ -1,0 +1,25 @@
+"""Helpers shared by the table/figure benchmarks."""
+
+from __future__ import annotations
+
+from repro.analysis import run_method, run_radix_baseline, N_PAPER
+from repro.simt.config import DeviceSpec, K40C
+
+__all__ = ["collect_totals", "paper_vs_model_row", "N_PAPER"]
+
+
+def collect_totals(methods, ms, *, key_value=False, n=None, spec: DeviceSpec = K40C,
+                   distribution="uniform", **kwargs):
+    """Run a grid of (method, m) points; returns {(method, m): ExperimentPoint}."""
+    out = {}
+    for method in methods:
+        for m in ms:
+            out[(method, m)] = run_method(method, m, key_value=key_value, n=n,
+                                          spec=spec, distribution=distribution,
+                                          **kwargs)
+    return out
+
+
+def paper_vs_model_row(label, model_ms, paper_ms):
+    """One comparison row: label, model, paper, ratio."""
+    return [label, f"{model_ms:.2f}", f"{paper_ms:.2f}", f"{model_ms / paper_ms:.2f}"]

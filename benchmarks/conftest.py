@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one of the paper's tables or figures: it
+runs the emulation under pytest-benchmark (wall time of the emulator)
+and prints/saves the reproduced artifact (simulated K40c/GTX750Ti
+numbers at the paper's n = 2^25, extrapolated from the audited
+counters). Set ``REPRO_N`` to change the emulation size.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emulate_n():
+    return int(os.environ.get("REPRO_N", 1 << 20))
+
+
+@pytest.fixture
+def artifact(results_dir, request):
+    """Print a reproduced table/figure and persist it to results/."""
+    def _emit(name: str, text: str):
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+    return _emit

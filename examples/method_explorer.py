@@ -1,0 +1,51 @@
+"""Method explorer: how each implementation behaves as buckets grow.
+
+Sweeps every multisplit implementation across bucket counts on both
+device profiles and prints the simulated times side by side — a compact
+view of the tradeoff space the paper's Figures 3 and 4 chart.
+
+Run:  python examples/method_explorer.py
+"""
+
+import numpy as np
+
+from repro import multisplit, RangeBuckets, Device, K40C, GTX750TI
+from repro.analysis.tables import render_table
+
+N = 1 << 19
+METHODS = ["direct", "warp", "block", "sparse_block", "scan_split",
+           "recursive_split", "reduced_bit", "radix_sort", "randomized"]
+
+
+def sweep(spec, ms):
+    rng = np.random.default_rng(1)
+    keys = rng.integers(0, 2**32, N, dtype=np.uint32)
+    rows = []
+    for method in METHODS:
+        cells = [method]
+        for m in ms:
+            try:
+                res = multisplit(keys, RangeBuckets(m), method=method,
+                                 device=Device(spec))
+                cells.append(f"{res.simulated_ms:.3f}")
+            except ValueError:
+                cells.append("-")  # method does not support this m
+        rows.append(cells)
+    return rows
+
+
+def main():
+    ms = [2, 4, 8, 16, 32, 64, 256]
+    for spec in (K40C, GTX750TI):
+        rows = sweep(spec, ms)
+        print(render_table(
+            ["method"] + [f"m={m}" for m in ms], rows,
+            title=f"\nsimulated ms, n={N}, uniform keys — {spec.name}"))
+    print("\n'-' marks bucket counts a method does not support "
+          "(scan split: m=2 only; warp-level: m<=32).")
+    print("AUTO policy: warp-level for m<=8, block-level to m<=128, "
+          "then reduced-bit sort.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Ray-direction bucketing for incoherent ray tracing (paper Section 1).
+
+One of the paper's motivating applications [Yang et al. 30]: group rays
+into 8 direction-based buckets (the sign octant of the direction vector)
+so that rays traversing similar space run in the same warps. The bucket
+id is computed from packed ray data by a user-supplied function — the
+exact use case multisplit's programmable bucket identifier serves.
+
+Run:  python examples/ray_bucketing.py
+"""
+
+import numpy as np
+
+from repro import multisplit_kv, CustomBuckets, check_multisplit
+
+
+def pack_direction(dx, dy, dz):
+    """Quantize a direction to 10 bits per axis and pack into a key."""
+    q = lambda v: np.clip(((v + 1.0) * 511.5).astype(np.uint32), 0, 1023)
+    return (q(dx) << np.uint32(20)) | (q(dy) << np.uint32(10)) | q(dz)
+
+
+def octant_of(keys):
+    """Bucket = sign octant of the packed direction (2x2x2 = 8 buckets)."""
+    dx = (keys >> np.uint32(20)) & np.uint32(1023)
+    dy = (keys >> np.uint32(10)) & np.uint32(1023)
+    dz = keys & np.uint32(1023)
+    return (((dx >= 512).astype(np.uint32) << np.uint32(2))
+            | ((dy >= 512).astype(np.uint32) << np.uint32(1))
+            | (dz >= 512).astype(np.uint32))
+
+
+def warp_coherence(octants):
+    """Fraction of 32-ray warps whose rays all share one octant."""
+    n = octants.size - octants.size % 32
+    warps = octants[:n].reshape(-1, 32)
+    return float((warps == warps[:, :1]).all(axis=1).mean())
+
+
+def main():
+    rng = np.random.default_rng(11)
+    n = 1 << 18
+    # incoherent secondary rays: uniform directions on the sphere
+    v = rng.normal(size=(3, n))
+    v /= np.linalg.norm(v, axis=0)
+    keys = pack_direction(*v)
+    ray_ids = np.arange(n, dtype=np.uint32)
+
+    spec = CustomBuckets(octant_of, 8, instruction_cost=6)
+    res = multisplit_kv(keys, ray_ids, spec, method="warp")
+    check_multisplit(res, keys, spec, ray_ids)
+
+    before = warp_coherence(octant_of(keys))
+    after = warp_coherence(octant_of(res.keys))
+    print(f"{n} incoherent rays -> 8 direction octants "
+          f"via {res.method}-level multisplit")
+    print(f"  octant sizes: {res.bucket_sizes().tolist()}")
+    print(f"  warp direction-coherence: {before:.1%} before, {after:.1%} after")
+    print(f"  reorganization cost: {res.simulated_ms:.3f} simulated ms "
+          f"({res.throughput_gkeys():.2f} G rays/s)")
+    # the permuted ray ids tell the tracer where each original ray went
+    assert after > 0.9
+
+
+if __name__ == "__main__":
+    main()

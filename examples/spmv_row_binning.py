@@ -1,0 +1,69 @@
+"""SpMV row binning by length (paper Section 1, Ashari et al. [4]).
+
+Sparse matrix-vector multiplication on GPUs assigns different kernels
+to rows of different lengths; the preprocessing step "bins rows by
+length" — a multisplit where the key is the row id and the bucket is a
+log-scale length class. Binning keeps same-class rows contiguous so
+each specialized kernel reads a dense range.
+
+Run:  python examples/spmv_row_binning.py
+"""
+
+import numpy as np
+
+from repro import multisplit, CustomBuckets, check_multisplit
+from repro.sssp import rmat  # reuse the power-law generator as a sparse matrix
+
+#: bucket i holds rows with nnz in [2**i, 2**(i+1)) (bucket 0: empty/1-entry)
+NUM_CLASSES = 8
+
+
+def length_class(nnz_of_row):
+    def classify(row_ids):
+        nnz = nnz_of_row[row_ids.astype(np.int64)]
+        cls = np.zeros(row_ids.size, dtype=np.uint32)
+        nz = nnz > 0
+        cls[nz] = np.minimum(np.log2(nnz[nz]).astype(np.uint32) + 1, NUM_CLASSES - 1)
+        return cls
+    return classify
+
+
+def main():
+    # a power-law sparse matrix: RMAT adjacency, rows = vertices
+    g = rmat(14, 8, seed=3)
+    nnz = g.out_degree()
+    rows = np.arange(g.num_vertices, dtype=np.uint32)
+
+    spec = CustomBuckets(length_class(nnz), NUM_CLASSES, instruction_cost=8)
+    res = multisplit(rows, spec, method="warp")
+    check_multisplit(res, rows, spec)
+
+    print(f"binned {g.num_vertices} rows ({g.num_edges} nnz) into "
+          f"{NUM_CLASSES} length classes via {res.method}-level multisplit")
+    for i in range(NUM_CLASSES):
+        bucket = res.bucket(i)
+        if bucket.size == 0:
+            continue
+        lens = nnz[bucket.astype(np.int64)]
+        lo = 0 if i == 0 else 1 << (i - 1)
+        print(f"  class {i} (nnz ~[{lo}, {1 << i})): {bucket.size:6d} rows, "
+              f"mean nnz {lens.mean():8.1f}")
+    print(f"  binning cost: {res.simulated_ms:.3f} simulated ms — amortized "
+          f"over every SpMV with this matrix")
+
+    # downstream check: a CSR-gather SpMV over the binned ordering matches
+    x = np.random.default_rng(0).random(g.num_vertices)
+    y_ref = np.zeros(g.num_vertices)
+    for v in range(g.num_vertices):
+        s, e = g.row_ptr[v], g.row_ptr[v + 1]
+        y_ref[v] = (g.weights[s:e] * x[g.col_idx[s:e]]).sum()
+    y_binned = np.zeros(g.num_vertices)
+    for v in res.keys.astype(np.int64):  # process rows in binned order
+        s, e = g.row_ptr[v], g.row_ptr[v + 1]
+        y_binned[v] = (g.weights[s:e] * x[g.col_idx[s:e]]).sum()
+    assert np.allclose(y_ref, y_binned)
+    print("  SpMV over the binned row order verified against row order")
+
+
+if __name__ == "__main__":
+    main()

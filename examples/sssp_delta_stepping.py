@@ -1,0 +1,59 @@
+"""Delta-stepping SSSP with multisplit bucketing (paper Section 1, footnote 1).
+
+Compares the three frontier-reorganization backends on the paper's four
+graph families and reports the whole-application speedups the footnote
+measured: multisplit bucketing ~1.3x over Near-Far, ~2.1x over the
+radix-sort-based bucketing Davidson et al. shipped.
+
+Run:  python examples/sssp_delta_stepping.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import gmean, render_table
+from repro.simt import Device, K40C
+from repro.sssp import FAMILIES, BUCKETINGS, delta_stepping, dijkstra, suggest_delta
+
+SCALE = 10  # 2**SCALE vertices per graph
+AMORTIZED = K40C.replace(kernel_launch_us=0.0)  # paper-scale graphs amortize launches
+
+
+def main():
+    rows = []
+    speedup_nf, speedup_sort = [], []
+    for name, make in FAMILIES.items():
+        g = make(SCALE, seed=7)
+        delta = suggest_delta(g) / 4
+        times = {}
+        for bucketing in BUCKETINGS:
+            dev = Device(AMORTIZED)
+            dist, stats = delta_stepping(g, 0, bucketing=bucketing, device=dev,
+                                         delta=delta)
+            times[bucketing] = stats["simulated_ms"]
+            if bucketing == "multisplit":
+                # verify against the serial oracle
+                assert np.allclose(dist, dijkstra(g, 0), equal_nan=True)
+                overhead = stats["bucketing_ms"] / stats["simulated_ms"]
+        rows.append([
+            name, f"V={g.num_vertices} E={g.num_edges}",
+            f"{times['multisplit'] * 1e3:.1f}",
+            f"{times['near_far'] * 1e3:.1f}",
+            f"{times['sort'] * 1e3:.1f}",
+            f"{times['near_far'] / times['multisplit']:.2f}x",
+            f"{times['sort'] / times['multisplit']:.2f}x",
+        ])
+        speedup_nf.append(times["near_far"] / times["multisplit"])
+        speedup_sort.append(times["sort"] / times["multisplit"])
+
+    print(render_table(
+        ["graph", "size", "multisplit us", "near-far us", "sort us",
+         "vs near-far", "vs sort"],
+        rows, title="SSSP bucketing backends (simulated, launch-amortized K40c)"))
+    print(f"\ngeo-mean speedup of multisplit bucketing: "
+          f"{gmean(speedup_nf):.2f}x over Near-Far (paper: 1.3x), "
+          f"{gmean(speedup_sort):.2f}x over sort-based (paper: 2.1x)")
+    print("distances verified against Dijkstra on every graph")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Calibration tooling for the cost model.
+
+Two modes:
+
+* ``verify`` (default) — run the anchor experiments with the *frozen*
+  constants and print model-vs-paper for Tables 3 and 4. This is the
+  regression view; tests/test_goldens.py pins the same numbers.
+* ``fit`` — capture the audited counters once, then grid-search the
+  DeviceSpec knobs (streaming efficiency, uncoalesced factor, overlap)
+  by re-pricing the stored timelines. Prints the best setting; baking
+  it in means editing repro/simt/config.py AND updating EXPERIMENTS.md
+  and tests/test_goldens.py together.
+
+Usage: python scripts/calibrate.py [verify|fit] [--n LOG2N]
+"""
+
+import argparse
+import itertools
+
+import numpy as np
+
+from repro.analysis import run_method, run_radix_baseline
+from repro.analysis.paper_data import TABLE3, TABLE4
+from repro.analysis.tables import render_table
+from repro.simt.config import K40C
+from repro.simt.costmodel import CostModel
+
+
+def capture(n):
+    points = {}
+    for kv in (False, True):
+        kind = "kv" if kv else "key"
+        p = run_radix_baseline(key_value=kv, n=n)
+        points[f"radix_{kind}"] = (p.timeline, TABLE3[("radix_sort", kind)][0])
+        p = run_method("scan_split", 2, key_value=kv, n=n)
+        points[f"split_{kind}"] = (p.timeline, TABLE3[("scan_split", kind)][0])
+        for meth in ("direct", "warp", "block"):
+            for m in (2, 8, 32):
+                p = run_method(meth, m, key_value=kv, n=n)
+                points[f"{meth}_{kind}_m{m}"] = (
+                    p.timeline, TABLE4[(meth, kind)][m]["total"])
+    return points
+
+
+def price(timeline, spec):
+    model = CostModel(spec)
+    return sum(model.kernel_time_ms(r.counters) for r in timeline.records)
+
+
+def cmd_verify(n):
+    points = capture(n)
+    rows = []
+    errs = []
+    for name, (tl, paper) in points.items():
+        model = tl.total_ms
+        rows.append([name, f"{model:.2f}", f"{paper:.2f}", f"{model / paper:.2f}"])
+        errs.append(abs(np.log(model / paper)))
+    print(render_table(["config", "model ms", "paper ms", "ratio"], rows,
+                       title="anchor verification (frozen constants), n=2^25"))
+    print(f"\nmean |log-ratio| = {np.mean(errs):.3f} "
+          f"(worst {np.exp(max(errs)):.2f}x)")
+
+
+def cmd_fit(n):
+    points = capture(n)
+    best = None
+    for eff, f, ov in itertools.product(
+            (0.45, 0.50, 0.55, 0.60), (0.2, 0.3, 0.4, 0.5, 0.6),
+            (0.4, 0.5, 0.6, 0.7)):
+        spec = K40C.replace(streaming_efficiency=eff,
+                            uncoalesced_sector_factor=f, overlap=ov)
+        err = sum(abs(np.log(price(tl, spec) / paper))
+                  for tl, paper in points.values())
+        if best is None or err < best[0]:
+            best = (err, eff, f, ov)
+    err, eff, f, ov = best
+    print(f"best: streaming_efficiency={eff}, uncoalesced_sector_factor={f}, "
+          f"overlap={ov}  (sum |log-ratio| {err:.3f})")
+    print("current:", K40C.streaming_efficiency, K40C.uncoalesced_sector_factor,
+          K40C.overlap)
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser()
+    ap.add_argument("mode", nargs="?", default="verify", choices=["verify", "fit"])
+    ap.add_argument("--n", type=int, default=20, help="log2 emulation size")
+    args = ap.parse_args()
+    {"verify": cmd_verify, "fit": cmd_fit}[args.mode](1 << args.n)

@@ -1,0 +1,44 @@
+"""repro — reproduction of "GPU Multisplit" (Ashkiani et al., PPoPP 2016).
+
+A from-scratch Python implementation of the paper's multisplit primitive
+(Direct, Warp-level, and Block-level warp-synchronous methods) and all
+of its baselines (radix sort, reduced-bit sort, scan-based split,
+randomized dart-throwing), running on an emulated SIMT substrate with a
+calibrated performance model that reproduces the paper's tables and
+figures. See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-vs-measured record.
+
+Quickstart::
+
+    import numpy as np
+    from repro import multisplit, RangeBuckets
+
+    keys = np.random.default_rng(0).integers(0, 2**32, 1 << 20, dtype=np.uint32)
+    result = multisplit(keys, RangeBuckets(8))
+    print(result.bucket_sizes(), result.simulated_ms, "simulated ms")
+"""
+
+from .multisplit import (
+    Method,
+    multisplit,
+    multisplit_kv,
+    MultisplitResult,
+    BucketSpec,
+    RangeBuckets,
+    IdentityBuckets,
+    DeltaBuckets,
+    PrimeCompositeBuckets,
+    CustomBuckets,
+    check_multisplit,
+)
+from .simt import Device, DeviceSpec, K40C, GTX750TI
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Method", "multisplit", "multisplit_kv", "MultisplitResult",
+    "BucketSpec", "RangeBuckets", "IdentityBuckets", "DeltaBuckets",
+    "PrimeCompositeBuckets", "CustomBuckets", "check_multisplit",
+    "Device", "DeviceSpec", "K40C", "GTX750TI",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Analysis: paper data, experiment runner, locality and bound analyses."""
+
+from .locality import ScatterStats, scatter_stats, figure2_layout
+from .runner import (
+    ExperimentPoint,
+    run_method,
+    run_radix_baseline,
+    default_emulate_n,
+    N_PAPER,
+)
+from .speed_of_light import speed_of_light_gkeys, ACCESSES_KEY_ONLY, ACCESSES_KEY_VALUE
+from .report import timeline_report, timeline_csv, bandwidth_gbps
+from .tables import render_table, render_series, gmean, fmt_ms, fmt_ratio
+from . import paper_data
+
+__all__ = [
+    "ScatterStats", "scatter_stats", "figure2_layout",
+    "ExperimentPoint", "run_method", "run_radix_baseline", "default_emulate_n",
+    "N_PAPER",
+    "speed_of_light_gkeys", "ACCESSES_KEY_ONLY", "ACCESSES_KEY_VALUE",
+    "render_table", "render_series", "gmean", "fmt_ms", "fmt_ratio",
+    "timeline_report", "timeline_csv", "bandwidth_gbps",
+    "paper_data",
+]

@@ -1,0 +1,98 @@
+"""Scatter-locality analysis (paper Figure 2 and Section 5.2).
+
+Quantifies what local reordering buys: for a given key window and
+subproblem granularity, compute the final-scatter address stream in
+thread order and measure its 32 B sector count (DRAM traffic) and 128 B
+segment issue runs (LSU work) per warp. Warp-level reordering leaves
+the sector count unchanged but minimizes issue runs within each warp;
+block-level reordering additionally reduces sectors because same-bucket
+runs span whole blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simt.config import WARP_WIDTH, K40C
+from repro.simt.memory import warp_sector_count, warp_issue_runs
+
+__all__ = ["ScatterStats", "scatter_stats", "figure2_layout"]
+
+
+@dataclass(frozen=True)
+class ScatterStats:
+    """Per-warp averages for one final-scatter configuration."""
+
+    granularity: int
+    reordered: bool
+    mean_sectors_per_warp: float
+    mean_issue_runs_per_warp: float
+    mean_run_length: float
+
+
+def _final_positions(ids: np.ndarray, m: int) -> np.ndarray:
+    """Stable multisplit destination of every element."""
+    order = np.argsort(ids, kind="stable")
+    dest = np.empty(ids.size, dtype=np.int64)
+    dest[order] = np.arange(ids.size, dtype=np.int64)
+    return dest
+
+
+def _thread_order(ids: np.ndarray, granularity: int, reordered: bool) -> np.ndarray:
+    """Index array giving the order in which threads hold elements."""
+    n = ids.size
+    if not reordered:
+        return np.arange(n, dtype=np.int64)
+    group = np.arange(n, dtype=np.int64) // granularity
+    return np.lexsort((np.arange(n, dtype=np.int64), ids, group))
+
+
+def scatter_stats(ids: np.ndarray, m: int, granularity: int, *,
+                  reordered: bool, itemsize: int = 4,
+                  sector_bytes: int = K40C.sector_bytes,
+                  segment_bytes: int = K40C.segment_bytes) -> ScatterStats:
+    """Audit the final scatter for a subproblem ``granularity`` (in lanes).
+
+    ``granularity=32, reordered=False`` is Direct MS; ``32, True`` is
+    Warp-level MS; ``256, True`` is Block-level MS with ``NW = 8``.
+    """
+    ids = np.asarray(ids)
+    if ids.ndim != 1:
+        raise ValueError(f"ids must be 1-D, got shape {ids.shape}")
+    if granularity % WARP_WIDTH:
+        raise ValueError(f"granularity must be a multiple of {WARP_WIDTH}")
+    n = ids.size - ids.size % granularity
+    if n == 0:
+        raise ValueError(f"need at least {granularity} elements")
+    ids = ids[:n]
+    dest = _final_positions(ids, m)
+    stream = dest[_thread_order(ids, granularity, reordered)] * itemsize
+    rows = stream.reshape(-1, WARP_WIDTH)
+    sectors = warp_sector_count(rows, sector_bytes)
+    runs = warp_issue_runs(rows, segment_bytes)
+    # address-run lengths in thread order (consecutive-destination runs)
+    flat = stream // itemsize
+    breaks = int((np.diff(flat.reshape(-1, granularity), axis=1) != 1).sum())
+    num_runs = breaks + n // granularity
+    return ScatterStats(
+        granularity=granularity,
+        reordered=reordered,
+        mean_sectors_per_warp=float(sectors.mean()),
+        mean_issue_runs_per_warp=float(runs.mean()),
+        mean_run_length=n / num_runs,
+    )
+
+
+def figure2_layout(ids: np.ndarray, m: int, granularity: int, *,
+                   reordered: bool) -> np.ndarray:
+    """Figure 2's picture: bucket id held by each thread slot.
+
+    Returns the bucket ids in thread order after (optional) local
+    reordering — the row one draws to visualize how reordering groups
+    same-bucket elements within each subproblem.
+    """
+    ids = np.asarray(ids)
+    order = _thread_order(ids, granularity, reordered)
+    return ids[order]

@@ -1,0 +1,117 @@
+"""The paper's published numbers, transcribed for comparison tables.
+
+All times are milliseconds on the Tesla K40c at n = 2^25 uniformly
+distributed 32-bit keys, unless noted. Source: Ashkiani et al.,
+"GPU Multisplit", PPoPP 2016, Tables 3-6 and Figures 3-5.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE3", "TABLE4", "TABLE5", "TABLE6_K40C", "TABLE6_GTX750TI",
+    "SPEED_OF_LIGHT", "N_PAPER",
+]
+
+N_PAPER = 1 << 25
+
+# method -> (avg running time ms, processing rate Gkeys/s)
+TABLE3 = {
+    ("radix_sort", "key"): (22.36, 1.50),
+    ("radix_sort", "kv"): (37.36, 0.90),
+    ("scan_split", "key"): (5.55, 6.05),
+    ("scan_split", "kv"): (6.96, 4.82),
+}
+
+# (method, kind) -> {m: {stage: ms, "total": ms}}
+TABLE4 = {
+    ("direct", "key"): {
+        2: {"prescan": 1.32, "scan": 0.12, "postscan": 2.31, "total": 3.75},
+        8: {"prescan": 1.49, "scan": 0.39, "postscan": 2.98, "total": 4.85},
+        32: {"prescan": 2.19, "scan": 1.48, "postscan": 4.92, "total": 8.59},
+    },
+    ("direct", "kv"): {
+        2: {"prescan": 1.32, "scan": 0.12, "postscan": 3.36, "total": 4.79},
+        8: {"prescan": 1.49, "scan": 0.39, "postscan": 4.06, "total": 5.93},
+        32: {"prescan": 2.19, "scan": 1.48, "postscan": 11.97, "total": 15.63},
+    },
+    ("warp", "key"): {
+        2: {"prescan": 1.32, "scan": 0.12, "postscan": 1.91, "total": 3.34},
+        8: {"prescan": 1.49, "scan": 0.39, "postscan": 2.99, "total": 4.86},
+        32: {"prescan": 2.19, "scan": 1.47, "postscan": 5.44, "total": 9.11},
+    },
+    ("warp", "kv"): {
+        2: {"prescan": 1.32, "scan": 0.12, "postscan": 3.27, "total": 4.70},
+        8: {"prescan": 1.49, "scan": 0.40, "postscan": 4.34, "total": 6.22},
+        32: {"prescan": 2.19, "scan": 1.47, "postscan": 10.56, "total": 14.23},
+    },
+    ("block", "key"): {
+        2: {"prescan": 1.59, "scan": 0.03, "postscan": 3.70, "total": 5.33},
+        8: {"prescan": 1.58, "scan": 0.07, "postscan": 4.30, "total": 5.95},
+        32: {"prescan": 1.88, "scan": 0.21, "postscan": 5.35, "total": 7.44},
+    },
+    ("block", "kv"): {
+        2: {"prescan": 1.59, "scan": 0.03, "postscan": 4.41, "total": 6.04},
+        8: {"prescan": 1.58, "scan": 0.07, "postscan": 5.13, "total": 6.78},
+        32: {"prescan": 1.88, "scan": 0.21, "postscan": 6.44, "total": 8.53},
+    },
+    ("reduced_bit", "key"): {
+        2: {"labeling": 2.07, "sort": 5.01, "pack_unpack": 0.0, "total": 7.09},
+        8: {"labeling": 2.07, "sort": 5.22, "pack_unpack": 0.0, "total": 7.29},
+        32: {"labeling": 2.07, "sort": 6.60, "pack_unpack": 0.0, "total": 8.67},
+    },
+    ("reduced_bit", "kv"): {
+        2: {"labeling": 2.07, "sort": 5.94, "pack_unpack": 5.66, "total": 13.67},
+        8: {"labeling": 2.07, "sort": 6.33, "pack_unpack": 5.66, "total": 14.06},
+        32: {"labeling": 2.07, "sort": 10.49, "pack_unpack": 5.66, "total": 18.22},
+    },
+    # recursive scan-based split: ideal lower bound rows
+    ("recursive_split_bound", "key"): {
+        2: {"total": 5.55}, 8: {"total": 16.65}, 32: {"total": 27.75},
+    },
+    ("recursive_split_bound", "kv"): {
+        2: {"total": 6.96}, 8: {"total": 20.88}, 32: {"total": 34.8},
+    },
+    # radix sort on identity buckets (trivial case footnote)
+    ("identity_sort", "key"): {2: {"total": 2.62}, 8: {"total": 2.68}, 32: {"total": 4.20}},
+    ("identity_sort", "kv"): {2: {"total": 5.01}, 8: {"total": 5.22}, 32: {"total": 6.60}},
+}
+
+# (method, kind) -> {m: Gkeys/s}
+TABLE5 = {
+    ("direct", "key"): {2: 8.95, 4: 7.88, 8: 6.92, 16: 5.51, 32: 3.91},
+    ("warp", "key"): {2: 10.04, 4: 8.23, 8: 6.90, 16: 5.14, 32: 3.69},
+    ("block", "key"): {2: 6.29, 4: 5.84, 8: 5.64, 16: 4.95, 32: 4.51},
+    ("reduced_bit", "key"): {2: 4.64, 4: 4.60, 8: 4.51, 16: 4.34, 32: 3.85},
+    ("direct", "kv"): {2: 7.00, 4: 6.06, 8: 5.66, 16: 4.19, 32: 2.15},
+    ("warp", "kv"): {2: 7.14, 4: 6.31, 8: 5.40, 16: 3.86, 32: 2.36},
+    ("block", "kv"): {2: 5.56, 4: 5.11, 8: 4.95, 16: 4.50, 32: 3.93},
+    ("reduced_bit", "kv"): {2: 2.46, 4: 2.44, 8: 2.39, 16: 2.13, 32: 1.84},
+}
+
+# speedups over radix sort, same device
+TABLE6_K40C = {
+    ("direct", "key"): {2: 5.97, 4: 5.25, 8: 4.61, 16: 3.67, 32: 2.60},
+    ("warp", "key"): {2: 6.69, 4: 5.49, 8: 4.60, 16: 3.43, 32: 2.46},
+    ("block", "key"): {2: 4.20, 4: 3.89, 8: 3.76, 16: 3.30, 32: 3.01},
+    ("reduced_bit", "key"): {2: 3.15, 4: 3.12, 8: 3.06, 16: 2.95, 32: 2.58},
+    ("direct", "kv"): {2: 7.80, 4: 6.75, 8: 6.30, 16: 4.66, 32: 2.39},
+    ("warp", "kv"): {2: 7.95, 4: 7.03, 8: 6.01, 16: 4.29, 32: 2.62},
+    ("block", "kv"): {2: 6.19, 4: 5.69, 8: 5.51, 16: 5.01, 32: 4.38},
+    ("reduced_bit", "kv"): {2: 2.73, 4: 2.71, 8: 2.66, 16: 2.37, 32: 2.05},
+}
+
+TABLE6_GTX750TI = {
+    ("direct", "key"): {2: 4.67, 4: 3.73, 8: 2.80, 16: 2.52, 32: 1.52},
+    ("warp", "key"): {2: 5.61, 4: 4.26, 8: 3.39, 16: 2.63, 32: 1.70},
+    ("block", "key"): {2: 3.32, 4: 3.14, 8: 2.96, 16: 2.88, 32: 2.73},
+    ("reduced_bit", "key"): {2: 2.90, 4: 2.82, 8: 2.76, 16: 2.72, 32: 2.65},
+    ("direct", "kv"): {2: 5.65, 4: 3.86, 8: 2.83, 16: 2.41, 32: 1.45},
+    ("warp", "kv"): {2: 6.35, 4: 5.32, 8: 4.00, 16: 3.03, 32: 1.66},
+    ("block", "kv"): {2: 4.47, 4: 4.36, 8: 4.23, 16: 4.06, 32: 3.40},
+    ("reduced_bit", "kv"): {2: 2.12, 4: 2.12, 8: 2.11, 16: 2.08, 32: 2.06},
+}
+
+# GTX 750 Ti radix sort baselines (Gkeys/s): key-only 0.80, key-value 0.48
+GTX750TI_RADIX_GKEYS = {"key": 0.80, "kv": 0.48}
+
+SPEED_OF_LIGHT = {"key": 24.0, "kv": 14.4}

@@ -1,0 +1,67 @@
+"""Timeline reporting: human-readable and CSV views of emulated runs.
+
+Turns a :class:`~repro.simt.device.Timeline` into the per-kernel
+breakdown one would read out of a GPU profiler: time, traffic, achieved
+bandwidth, occupancy, and the memory-vs-compute balance per kernel.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.simt.device import Timeline
+from .tables import render_table
+
+__all__ = ["timeline_report", "timeline_csv", "bandwidth_gbps"]
+
+
+def bandwidth_gbps(record) -> float:
+    """Achieved DRAM bandwidth of one kernel (useful bytes / its mem time)."""
+    c = record.counters
+    useful = c.global_read_bytes_useful + c.global_write_bytes_useful
+    if record.time.mem_ms <= 0:
+        return 0.0
+    return useful / (record.time.mem_ms * 1e-3) / 1e9
+
+
+def timeline_report(timeline: Timeline, *, title: str = "emulated timeline") -> str:
+    """Profiler-style table: one row per kernel plus per-stage totals."""
+    rows = []
+    for r in timeline.records:
+        c = r.counters
+        useful_mb = (c.global_read_bytes_useful + c.global_write_bytes_useful) / 1e6
+        bound = "mem" if r.time.mem_ms >= r.time.alu_ms else "alu"
+        rows.append([
+            r.name,
+            f"{r.total_ms:.4f}",
+            f"{useful_mb:.2f}",
+            f"{bandwidth_gbps(r):.0f}",
+            f"{c.warp_instructions:,}",
+            f"{r.time.occupancy:.2f}",
+            bound,
+        ])
+    table = render_table(
+        ["kernel", "ms", "useful MB", "GB/s", "warp inst", "occ", "bound"],
+        rows, title=title)
+    stage_rows = [[stage, f"{ms:.4f}", f"{ms / max(timeline.total_ms, 1e-12):.1%}"]
+                  for stage, ms in timeline.stages().items()]
+    stage_rows.append(["TOTAL", f"{timeline.total_ms:.4f}", "100.0%"])
+    return table + "\n\n" + render_table(["stage", "ms", "share"], stage_rows)
+
+
+def timeline_csv(timeline: Timeline) -> str:
+    """Machine-readable CSV of the same per-kernel data."""
+    out = io.StringIO()
+    out.write("kernel,stage,total_ms,mem_ms,alu_ms,occupancy,"
+              "read_bytes,write_bytes,read_sectors,write_sectors,"
+              "issue_runs,warp_instructions,shared_accesses,atomics\n")
+    for r in timeline.records:
+        c = r.counters
+        out.write(
+            f"{r.name},{r.stage},{r.total_ms:.9f},{r.time.mem_ms:.9f},"
+            f"{r.time.alu_ms:.9f},{r.time.occupancy:.4f},"
+            f"{c.global_read_bytes_useful},{c.global_write_bytes_useful},"
+            f"{c.global_read_sectors},{c.global_write_sectors},"
+            f"{c.global_issue_runs},{c.warp_instructions},"
+            f"{c.shared_accesses},{c.atomic_ops}\n")
+    return out.getvalue()

@@ -1,0 +1,108 @@
+"""Paper-scale experiment runner.
+
+Emulation is exact but O(n) in host work, so experiments run at a
+reduced ``n_emulate`` and extrapolate the audited counters linearly to
+the paper's n = 2^25 (launch geometry and occupancy do not scale; see
+``Timeline.scaled``). ``REPRO_N`` overrides the emulation size.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.multisplit import Method, multisplit, identity_sort_multisplit
+from repro.multisplit.bucketing import RangeBuckets, IdentityBuckets
+from repro.simt.config import DeviceSpec, K40C
+from repro.simt.device import Device, Timeline
+from repro.sort.radix import radix_sort
+from repro.workloads.distributions import DISTRIBUTIONS, random_values
+
+__all__ = ["ExperimentPoint", "run_method", "run_radix_baseline", "default_emulate_n",
+           "N_PAPER"]
+
+N_PAPER = 1 << 25
+
+
+def default_emulate_n(default: int = 1 << 20) -> int:
+    """Emulation size; override with the ``REPRO_N`` environment variable."""
+    env = os.environ.get("REPRO_N")
+    if env:
+        n = int(env)
+        if n < 1024:
+            raise ValueError(f"REPRO_N too small: {n}")
+        return n
+    return default
+
+
+@dataclass
+class ExperimentPoint:
+    """One (method, m, kind) measurement scaled to paper size."""
+
+    method: str
+    m: int
+    key_value: bool
+    n: int
+    timeline: Timeline
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_ms(self) -> float:
+        return self.timeline.total_ms
+
+    @property
+    def gkeys(self) -> float:
+        return self.n / (self.total_ms * 1e-3) / 1e9
+
+    def stage_ms(self, stage: str) -> float:
+        return self.timeline.stage_ms(stage)
+
+    def stages(self) -> dict[str, float]:
+        return self.timeline.stages()
+
+
+def run_method(method: Method | str, m: int, *, key_value: bool = False,
+               n: int | None = None, n_report: int = N_PAPER,
+               spec: DeviceSpec = K40C, distribution: str = "uniform",
+               seed: int = 0, **kwargs) -> ExperimentPoint:
+    """Run one multisplit configuration and scale its timeline to ``n_report``."""
+    n_emulate = n or default_emulate_n()
+    rng = np.random.default_rng(seed)
+    if distribution == "identity":
+        keys = rng.integers(0, m, size=n_emulate, dtype=np.uint32)
+        bspec = IdentityBuckets(m)
+    else:
+        keys = DISTRIBUTIONS[distribution](n_emulate, m, rng)
+        bspec = RangeBuckets(m)
+    values = random_values(n_emulate, rng) if key_value else None
+    dev = Device(spec)
+    if method == "identity_sort":
+        if distribution != "identity":
+            raise ValueError("identity_sort requires the identity distribution")
+        res = identity_sort_multisplit(keys, bspec, values=values, device=dev)
+    else:
+        res = multisplit(keys, bspec, values=values, method=method, device=dev,
+                         **kwargs)
+    timeline = res.timeline.scaled(n_report / n_emulate)
+    return ExperimentPoint(method=res.method, m=m, key_value=key_value,
+                           n=n_report, timeline=timeline,
+                           extra={"distribution": distribution,
+                                  "n_emulate": n_emulate})
+
+
+def run_radix_baseline(*, key_value: bool = False, n: int | None = None,
+                       n_report: int = N_PAPER, spec: DeviceSpec = K40C,
+                       bits: int = 32, seed: int = 0) -> ExperimentPoint:
+    """Full radix sort of uniform 32-bit keys (Table 3 baseline)."""
+    n_emulate = n or default_emulate_n()
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 2**32, size=n_emulate, dtype=np.uint32)
+    values = random_values(n_emulate, rng) if key_value else None
+    dev = Device(spec)
+    radix_sort(dev, keys, values, bits=bits)
+    timeline = dev.timeline.scaled(n_report / n_emulate)
+    return ExperimentPoint(method="radix_sort", m=1 << bits if bits < 31 else 0,
+                           key_value=key_value, n=n_report, timeline=timeline,
+                           extra={"n_emulate": n_emulate})

@@ -1,0 +1,25 @@
+"""Multisplit "speed of light" bounds (paper Section 6.2.2).
+
+The parallel model needs at least: one read of all keys before the
+global operation, then a read of all keys (and values) plus a write of
+all keys (and values) after it. Assuming free computation and perfectly
+coalesced traffic, that is 3 accesses per element key-only and 5 for
+key-value pairs; at 288 GB/s and 4-byte elements the K40c bounds are
+24 G keys/s and 14.4 G pairs/s.
+"""
+
+from __future__ import annotations
+
+from repro.simt.config import DeviceSpec, K40C
+
+__all__ = ["speed_of_light_gkeys", "ACCESSES_KEY_ONLY", "ACCESSES_KEY_VALUE"]
+
+ACCESSES_KEY_ONLY = 3
+ACCESSES_KEY_VALUE = 5
+
+
+def speed_of_light_gkeys(spec: DeviceSpec = K40C, *, key_value: bool = False,
+                         element_bytes: int = 4) -> float:
+    """Upper bound on multisplit throughput for ``spec`` in G keys/s."""
+    accesses = ACCESSES_KEY_VALUE if key_value else ACCESSES_KEY_ONLY
+    return spec.dram_bandwidth_gbps / (accesses * element_bytes)

@@ -1,0 +1,58 @@
+"""Plain-text table/figure rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_series", "gmean", "fmt_ms", "fmt_ratio"]
+
+
+def fmt_ms(x: float) -> str:
+    return f"{x:.2f}"
+
+
+def fmt_ratio(x: float) -> str:
+    return f"{x:.2f}x"
+
+
+def gmean(values: Iterable[float]) -> float:
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("gmean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("gmean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], *,
+                 title: str = "") -> str:
+    """Fixed-width table; every cell is str()-ed."""
+    cells = [[str(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence, ys: Sequence[float], *,
+                  unit: str = "ms") -> str:
+    """One named figure series as aligned x/y pairs."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name!r}: {len(xs)} xs vs {len(ys)} ys")
+    pairs = "  ".join(f"{x}:{y:.3g}" for x, y in zip(xs, ys))
+    return f"{name} [{unit}]  {pairs}"

@@ -1,0 +1,13 @@
+"""Application subsystems built on multisplit (the paper's Section 1 uses)."""
+
+from .hash_table import HashTable, HashBuildError, BUCKET_SLOTS, TARGET_LOAD
+from .hash_join import hash_join
+from .kdtree import ShallowKdTree
+from .string_sort import string_sort
+from .suffix_array import suffix_array
+from .voxelize import voxelize, dominant_axes
+from .topk import top_k
+
+__all__ = ["HashTable", "HashBuildError", "BUCKET_SLOTS", "TARGET_LOAD",
+           "hash_join", "ShallowKdTree", "string_sort", "suffix_array",
+           "voxelize", "dominant_axes", "top_k"]

@@ -1,0 +1,135 @@
+"""Shallow k-d tree construction stages (paper Section 1; Wu et al. [29]).
+
+GPU k-d tree builders process the top ("large node") levels of the tree
+breadth-first: at each level every node splits its points around a
+pivot on its widest axis, and the points of *all* nodes are
+repartitioned in one device-wide pass. That repartitioning is a
+multisplit: with ``2^level`` nodes the bucket of a point is
+``2 * node + side``, i.e. ``2^(level+1)`` buckets.
+
+:class:`ShallowKdTree` builds those levels with the multisplit API on
+the emulated device and hands each resulting leaf cell off as a
+contiguous range — the point where real builders switch to the
+small-node stage. Nearest-neighbour queries traverse the shallow tree
+and brute-force the leaf cells, verified against a full brute-force
+oracle in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multisplit import multisplit, CustomBuckets
+from repro.simt.config import K40C
+from repro.simt.device import Device
+
+__all__ = ["ShallowKdTree"]
+
+
+class ShallowKdTree:
+    """Top ``depth`` levels of a k-d tree over ``(n, d)`` points."""
+
+    def __init__(self, points: np.ndarray, depth: int = 4, *,
+                 device: Device | None = None):
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("points must be a non-empty (n, d) array")
+        if not 1 <= depth <= 16:
+            raise ValueError(f"depth must be in [1, 16], got {depth}")
+        self.points = points
+        self.depth = depth
+        self.device = device or Device(K40C)
+        n, d = points.shape
+        self.dims = d
+
+        order = np.arange(n, dtype=np.uint32)     # point ids, permuted per level
+        node_of = np.zeros(n, dtype=np.int64)     # current node of each slot
+        # per-node split records: (axis, pivot) indexed by node id per level
+        self.split_axis: list[np.ndarray] = []
+        self.split_pivot: list[np.ndarray] = []
+
+        for level in range(depth):
+            nodes = 1 << level
+            axis = np.zeros(nodes, dtype=np.int64)
+            pivot = np.zeros(nodes)
+            side = np.zeros(n, dtype=np.uint32)
+            for node in range(nodes):
+                sel = node_of == node
+                if not sel.any():
+                    continue
+                pts = points[order[sel].astype(np.int64)]
+                spans = pts.max(axis=0) - pts.min(axis=0)
+                ax = int(np.argmax(spans))
+                pv = float(np.median(pts[:, ax]))
+                axis[node] = ax
+                pivot[node] = pv
+                side[sel] = (pts[:, ax] > pv).astype(np.uint32)
+            self.split_axis.append(axis)
+            self.split_pivot.append(pivot)
+
+            # device-wide repartition of every node's points: one multisplit
+            bucket_ids = (node_of.astype(np.uint32) << np.uint32(1)) | side
+            m = nodes * 2
+            pos_of = np.empty(n, dtype=np.int64)
+            pos_of[order.astype(np.int64)] = np.arange(n)
+            spec = CustomBuckets(
+                lambda keys: bucket_ids[pos_of[keys.astype(np.int64)]], m,
+                instruction_cost=10)
+            res = multisplit(order, spec, method="warp" if m <= 32 else "block",
+                             device=self.device)
+            order = res.keys
+            node_of = np.searchsorted(res.bucket_starts[1:], np.arange(n),
+                                      side="right")
+            self._leaf_starts = res.bucket_starts
+        self.order = order.astype(np.int64)
+        self.leaf_starts = np.asarray(self._leaf_starts, dtype=np.int64)
+
+    @property
+    def num_leaves(self) -> int:
+        return 1 << self.depth
+
+    def leaf_points(self, leaf: int) -> np.ndarray:
+        """Point ids of one leaf cell (contiguous range of the ordering)."""
+        if not 0 <= leaf < self.num_leaves:
+            raise IndexError(f"leaf {leaf} out of range [0, {self.num_leaves})")
+        return self.order[self.leaf_starts[leaf]:self.leaf_starts[leaf + 1]]
+
+    def _leaf_of(self, q: np.ndarray) -> int:
+        node = 0
+        for level in range(self.depth):
+            ax = self.split_axis[level][node]
+            pv = self.split_pivot[level][node]
+            node = node * 2 + (1 if q[ax] > pv else 0)
+        return node
+
+    def nearest(self, query: np.ndarray) -> tuple[int, float]:
+        """Exact nearest neighbour via leaf traversal with backtracking.
+
+        Returns ``(point_id, distance)``.
+        """
+        q = np.asarray(query, dtype=np.float64)
+        if q.shape != (self.dims,):
+            raise ValueError(f"query must have shape ({self.dims},), got {q.shape}")
+        best_id, best_d2 = -1, np.inf
+
+        def visit(node: int, level: int) -> None:
+            nonlocal best_id, best_d2
+            if level == self.depth:
+                ids = self.leaf_points(node)
+                if ids.size == 0:
+                    return
+                d2 = ((self.points[ids] - q) ** 2).sum(axis=1)
+                i = int(np.argmin(d2))
+                if d2[i] < best_d2:
+                    best_d2, best_id = float(d2[i]), int(ids[i])
+                return
+            ax = self.split_axis[level][node]
+            pv = self.split_pivot[level][node]
+            near = 1 if q[ax] > pv else 0
+            visit(node * 2 + near, level + 1)
+            # backtrack across the plane when it could hide a closer point
+            if (q[ax] - pv) ** 2 < best_d2:
+                visit(node * 2 + (1 - near), level + 1)
+
+        visit(0, 0)
+        return best_id, float(np.sqrt(best_d2))

@@ -1,0 +1,75 @@
+"""Probabilistic top-k selection (paper Section 1; Monroe et al. [22]).
+
+Monroe's randomized GPU selection has "a core multisplit operation of
+three bins around two pivots": keys above the upper pivot certainly
+belong to the top-k, keys below the lower pivot certainly do not, and
+only the (small, with high probability) middle bin recurses. The
+pivots come from order statistics of a uniform sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multisplit import multisplit, CustomBuckets
+from repro.simt.config import K40C
+from repro.simt.device import Device
+
+__all__ = ["top_k"]
+
+_SAMPLE = 4096
+_MARGIN = 0.05
+_SMALL = 256
+
+
+def top_k(keys: np.ndarray, k: int, *, device: Device | None = None,
+          seed: int = 0):
+    """Exact top-``k`` keys in descending order; returns ``(topk, stats)``.
+
+    ``stats`` counts the recursive multisplit passes and the largest
+    middle-bin size (the probabilistic part: how much escaped certain
+    classification).
+    """
+    keys = np.ascontiguousarray(keys, dtype=np.uint32)
+    if keys.ndim != 1:
+        raise ValueError(f"keys must be 1-D, got shape {keys.shape}")
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    dev = device or Device(K40C)
+    rng = np.random.default_rng(seed)
+    stats = {"passes": 0, "max_middle": 0}
+    out = _select(keys, min(k, keys.size), dev, rng, stats)
+    return out, stats
+
+
+def _select(keys: np.ndarray, k: int, dev: Device, rng, stats) -> np.ndarray:
+    n = keys.size
+    if k <= 0:
+        return np.zeros(0, dtype=keys.dtype)
+    if k >= n or n <= _SMALL:
+        # small residuals sort directly (the real kernel's base case)
+        return np.sort(keys)[::-1][:k].copy()
+    stats["passes"] += 1
+    sample = np.sort(rng.choice(keys, size=min(_SAMPLE, n), replace=False))
+    frac = 1.0 - k / n
+    lo = sample[int(max(0, (frac - _MARGIN) * sample.size))]
+    hi = sample[int(min(sample.size - 1, (frac + _MARGIN) * sample.size))]
+
+    spec = CustomBuckets(
+        lambda x: np.where(x > hi, 0, np.where(x >= lo, 1, 2)).astype(np.uint32),
+        3, instruction_cost=4)
+    res = multisplit(keys, spec, method="warp", device=dev)
+    sure = res.bucket(0)
+    middle = res.bucket(1)
+    stats["max_middle"] = max(stats["max_middle"], int(middle.size))
+    if middle.size == n:
+        # degenerate pivots (duplicate-heavy input): no progress possible
+        return np.sort(keys)[::-1][:k].copy()
+    if sure.size > k:  # pivots too low: the answer lies inside the sure set
+        return _select(sure, k, dev, rng, stats)
+    need = k - sure.size
+    if need > middle.size:  # pivots too high: pull from the rest as well
+        rest = _select(np.concatenate([middle, res.bucket(2)]), need, dev, rng, stats)
+    else:
+        rest = _select(middle, need, dev, rng, stats)
+    return np.sort(np.concatenate([sure, rest]))[::-1]

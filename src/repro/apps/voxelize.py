@@ -1,0 +1,131 @@
+"""Voxelization with dominant-axis splitting (paper Section 1;
+Pantaleoni's VoxelPipe [26]).
+
+VoxelPipe batches triangles "based on their descriptor (dominant
+axis)": rasterizing a triangle is cheapest along the axis its normal is
+most aligned with, and processing same-axis triangles together keeps
+warps coherent. The batching step is a 3-bucket multisplit.
+
+:func:`voxelize` runs the pipeline on the emulated device: compute each
+triangle's dominant axis, multisplit the triangle ids into the three
+axis buckets, then conservatively rasterize each batch into a boolean
+``(r, r, r)`` voxel grid by 2-D coverage tests in the triangle's
+dominant plane. The result is independent of triangle order, which the
+tests exploit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multisplit import multisplit, CustomBuckets
+from repro.simt.config import K40C, WARP_WIDTH
+from repro.simt.device import Device
+
+__all__ = ["voxelize", "dominant_axes"]
+
+
+def dominant_axes(triangles: np.ndarray) -> np.ndarray:
+    """Dominant axis (0=x, 1=y, 2=z) of each ``(t, 3, 3)`` triangle."""
+    triangles = np.asarray(triangles, dtype=np.float64)
+    if triangles.ndim != 3 or triangles.shape[1:] != (3, 3):
+        raise ValueError(f"triangles must have shape (t, 3, 3), got {triangles.shape}")
+    e1 = triangles[:, 1] - triangles[:, 0]
+    e2 = triangles[:, 2] - triangles[:, 0]
+    normal = np.cross(e1, e2)
+    return np.argmax(np.abs(normal), axis=1).astype(np.uint32)
+
+
+def _edge_test(px, py, ax, ay, bx, by):
+    """Signed area of (a, b, p): positive when p is left of a->b."""
+    return (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+
+
+def voxelize(triangles: np.ndarray, resolution: int = 32, *,
+             device: Device | None = None):
+    """Conservative solid-surface voxelization; returns ``(grid, stats)``.
+
+    ``triangles`` is ``(t, 3, 3)`` with coordinates in ``[0, 1]``;
+    ``grid`` is a boolean ``(r, r, r)`` array marking voxels whose
+    dominant-plane projection overlaps a triangle (with the triangle's
+    depth span filled along the dominant axis).
+    """
+    if not 1 <= resolution <= 512:
+        raise ValueError(f"resolution must be in [1, 512], got {resolution}")
+    triangles = np.asarray(triangles, dtype=np.float64)
+    axes = dominant_axes(triangles)  # validates shape
+    t = triangles.shape[0]
+    dev = device or Device(K40C)
+    grid = np.zeros((resolution,) * 3, dtype=bool)
+    if t == 0:
+        return grid, {"batches": [0, 0, 0]}
+
+    # the VoxelPipe batching step: 3-bucket multisplit on dominant axis
+    spec = CustomBuckets(lambda ids: axes[ids.astype(np.int64)], 3,
+                         instruction_cost=12)
+    res = multisplit(np.arange(t, dtype=np.uint32), spec, method="warp",
+                     device=dev)
+
+    r = resolution
+    centers = (np.arange(r) + 0.5) / r
+    stats = {"batches": res.bucket_sizes().tolist()}
+    with dev.kernel("raster:per_axis", warps_per_block=8) as k:
+        for axis in range(3):
+            batch = res.bucket(axis).astype(np.int64)
+            voxels_touched = 0
+            for ti in batch:
+                tri = triangles[ti]
+                u, v = [a for a in range(3) if a != axis]
+                # conservative 2-D bounding box in the dominant plane
+                lo_u = max(0, int(np.floor(tri[:, u].min() * r)))
+                hi_u = min(r - 1, int(np.floor(tri[:, u].max() * r)))
+                lo_v = max(0, int(np.floor(tri[:, v].min() * r)))
+                hi_v = min(r - 1, int(np.floor(tri[:, v].max() * r)))
+                if hi_u < lo_u or hi_v < lo_v:
+                    continue
+                cu = centers[lo_u:hi_u + 1][:, None]
+                cv = centers[lo_v:hi_v + 1][None, :]
+                # inside test against the three edges (either winding)
+                e = [
+                    _edge_test(cu, cv, tri[i, u], tri[i, v],
+                               tri[(i + 1) % 3, u], tri[(i + 1) % 3, v])
+                    for i in range(3)
+                ]
+                eps = 1.0 / r  # conservative slack of one voxel
+                inside = ((e[0] >= -eps) & (e[1] >= -eps) & (e[2] >= -eps)) | \
+                         ((e[0] <= eps) & (e[1] <= eps) & (e[2] <= eps))
+                if not inside.any():
+                    continue
+                lo_w = max(0, int(np.floor(tri[:, axis].min() * r)))
+                hi_w = min(r - 1, int(np.floor(tri[:, axis].max() * r)))
+                block = np.zeros((hi_u - lo_u + 1, hi_v - lo_v + 1, hi_w - lo_w + 1),
+                                 dtype=bool)
+                block |= inside[:, :, None]
+                sl = _axis_slices(axis, lo_u, hi_u, lo_v, hi_v, lo_w, hi_w)
+                grid[sl] |= np.moveaxis(block, (0, 1, 2), _axis_order(axis))
+                voxels_touched += int(inside.sum()) * (hi_w - lo_w + 1)
+            # cost: read batch triangles + scatter the touched voxels
+            k.gmem.read_streaming(batch.size * 9, 4)
+            k.counters.warp_instructions += (-(-max(batch.size, 1) // WARP_WIDTH)) * 64
+            k.gmem.write_streaming(voxels_touched, 1)
+    return grid, stats
+
+
+def _axis_order(axis: int):
+    """Destination axes for a (u, v, w) block with dominant ``axis``."""
+    if axis == 0:
+        return (1, 2, 0)  # u=y, v=z, w=x
+    if axis == 1:
+        return (0, 2, 1)  # u=x, v=z, w=y
+    return (0, 1, 2)      # u=x, v=y, w=z
+
+
+def _axis_slices(axis: int, lo_u, hi_u, lo_v, hi_v, lo_w, hi_w):
+    su = slice(lo_u, hi_u + 1)
+    sv = slice(lo_v, hi_v + 1)
+    sw = slice(lo_w, hi_w + 1)
+    if axis == 0:
+        return (sw, su, sv)
+    if axis == 1:
+        return (su, sw, sv)
+    return (su, sv, sw)

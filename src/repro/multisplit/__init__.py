@@ -1,0 +1,47 @@
+"""The multisplit primitive: the paper's core contribution and baselines."""
+
+from .api import Method, multisplit, multisplit_kv
+from .bucketing import (
+    BucketSpec,
+    RangeBuckets,
+    IdentityBuckets,
+    DeltaBuckets,
+    PrimeCompositeBuckets,
+    CustomBuckets,
+)
+from .block_level import block_level_multisplit
+from .direct import direct_multisplit
+from .randomized import randomized_multisplit
+from .reduced_bit import (
+    reduced_bit_multisplit,
+    sort_based_multisplit,
+    identity_sort_multisplit,
+)
+from .result import MultisplitResult
+from .scan_split import (
+    scan_split_multisplit,
+    recursive_scan_split_multisplit,
+    recursive_split_lower_bound_ms,
+)
+from .validate import MultisplitValidationError, check_multisplit, reference_multisplit
+from .warp_level import warp_level_multisplit
+from .keys import encode_keys, decode_keys, multisplit_any
+from .sparse_block import sparse_block_multisplit
+from .histogram_only import bucket_histogram, BucketHistogram
+from .warp_ops import warp_histogram, warp_offsets, warp_histogram_and_offsets
+
+__all__ = [
+    "Method", "multisplit", "multisplit_kv",
+    "BucketSpec", "RangeBuckets", "IdentityBuckets", "DeltaBuckets",
+    "PrimeCompositeBuckets", "CustomBuckets",
+    "block_level_multisplit", "direct_multisplit", "warp_level_multisplit",
+    "randomized_multisplit", "reduced_bit_multisplit", "sort_based_multisplit",
+    "identity_sort_multisplit",
+    "scan_split_multisplit", "recursive_scan_split_multisplit",
+    "recursive_split_lower_bound_ms",
+    "MultisplitResult", "MultisplitValidationError", "check_multisplit",
+    "reference_multisplit",
+    "warp_histogram", "warp_offsets", "warp_histogram_and_offsets",
+    "encode_keys", "decode_keys", "multisplit_any",
+    "sparse_block_multisplit", "bucket_histogram", "BucketHistogram",
+]

@@ -1,0 +1,76 @@
+"""Shared helpers for the multisplit implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt.config import WARP_WIDTH, K40C
+from repro.simt.device import Device
+
+__all__ = ["prepare_input", "PaddedInput", "resolve_device", "KEY_BYTES", "VALUE_BYTES"]
+
+KEY_BYTES = 4
+VALUE_BYTES = 4
+
+
+class PaddedInput:
+    """Input tiled to full warps/blocks with a validity mask.
+
+    ``ids`` is the per-lane bucket id matrix (invalid lanes hold 0 and
+    are masked out of every histogram/scatter), matching how a real
+    kernel guards its tail block. ``key_bytes`` carries the key width
+    (4 for uint32, 8 for uint64) into the traffic accounting.
+    """
+
+    def __init__(self, keys: np.ndarray, ids: np.ndarray, values: np.ndarray | None,
+                 tile_lanes: int):
+        n = keys.size
+        self.key_bytes = keys.dtype.itemsize
+        lanes_total = max(tile_lanes, -(-n // tile_lanes) * tile_lanes) if n else tile_lanes
+        self.n = n
+        self.num_warps = lanes_total // WARP_WIDTH
+        pad = lanes_total - n
+
+        def _pad(arr, fill=0):
+            out = np.concatenate([arr, np.full(pad, fill, dtype=arr.dtype)]) if pad else arr
+            return out.reshape(-1, WARP_WIDTH)
+
+        self.keys = _pad(keys)
+        self.ids = _pad(ids.astype(np.uint32))
+        self.values = _pad(values) if values is not None else None
+        valid_flat = np.zeros(lanes_total, dtype=bool)
+        valid_flat[:n] = True
+        self.valid = valid_flat.reshape(-1, WARP_WIDTH)
+        self.all_valid = pad == 0
+
+    @property
+    def valid_or_none(self):
+        """``None`` when every lane is valid (skips mask work in the hot path)."""
+        return None if self.all_valid else self.valid
+
+
+def prepare_input(keys, spec, values=None, tile_lanes: int = WARP_WIDTH) -> PaddedInput:
+    """Validate and tile a multisplit input (uint32 or uint64 keys)."""
+    keys = np.ascontiguousarray(keys)
+    if keys.ndim != 1:
+        raise ValueError(f"keys must be 1-D, got shape {keys.shape}")
+    if keys.dtype.itemsize not in (4, 8):
+        raise ValueError(
+            f"keys must be 32- or 64-bit, got dtype {keys.dtype}")
+    if values is not None:
+        values = np.ascontiguousarray(values)
+        if values.shape != keys.shape:
+            raise ValueError(
+                f"values shape {values.shape} must match keys shape {keys.shape}"
+            )
+    ids = spec(keys)
+    return PaddedInput(keys, ids, values, tile_lanes)
+
+
+def resolve_device(device) -> Device:
+    """Accept a Device, a DeviceSpec, or None (fresh K40c)."""
+    if device is None:
+        return Device(K40C)
+    if isinstance(device, Device):
+        return device
+    return Device(device)

@@ -1,0 +1,119 @@
+"""Public multisplit API: one entry point over every implementation.
+
+``multisplit(keys, spec, method=...)`` dispatches to the paper's three
+proposed methods and the four baselines. ``Method.AUTO`` encodes the
+paper's Figure 3 guidance: warp-level MS is fastest for small bucket
+counts, block-level MS for larger ones, and reduced-bit sort once the
+bucket count grows past the warp-synchronous methods' useful range.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from .bucketing import BucketSpec, as_bucket_spec
+from .block_level import block_level_multisplit
+from .direct import direct_multisplit
+from .randomized import randomized_multisplit
+from .reduced_bit import reduced_bit_multisplit, sort_based_multisplit
+from .result import MultisplitResult
+from .scan_split import scan_split_multisplit, recursive_scan_split_multisplit
+from .sparse_block import sparse_block_multisplit
+from .warp_level import warp_level_multisplit
+
+__all__ = ["Method", "multisplit", "multisplit_kv"]
+
+
+class Method(str, enum.Enum):
+    """Selectable multisplit implementations."""
+
+    AUTO = "auto"
+    DIRECT = "direct"
+    WARP = "warp"
+    BLOCK = "block"
+    SCAN_SPLIT = "scan_split"
+    RECURSIVE_SPLIT = "recursive_split"
+    SPARSE_BLOCK = "sparse_block"
+    REDUCED_BIT = "reduced_bit"
+    RADIX_SORT = "radix_sort"
+    RANDOMIZED = "randomized"
+
+
+# Figure 3 crossovers (key-only / key-value are close; use one policy):
+_WARP_BEST_MAX_M = 8
+_BLOCK_BEST_MAX_M = 128
+
+
+def _pick_auto(m: int) -> "Method":
+    if m <= _WARP_BEST_MAX_M:
+        return Method.WARP
+    if m <= _BLOCK_BEST_MAX_M:
+        return Method.BLOCK
+    return Method.REDUCED_BIT
+
+
+def multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
+               values: np.ndarray | None = None, method: Method | str = Method.AUTO,
+               device=None, warps_per_block: int = 8, **kwargs) -> MultisplitResult:
+    """Permute ``keys`` (and optionally ``values``) into contiguous buckets.
+
+    Parameters
+    ----------
+    keys:
+        1-D array of 32-bit keys.
+    spec_or_fn:
+        A :class:`BucketSpec` or a vectorized callable ``keys -> ids``
+        (pass ``num_buckets`` with a bare callable).
+    values:
+        Optional array moved alongside the keys.
+    method:
+        A :class:`Method` (or its string value). ``AUTO`` picks by
+        bucket count per the paper's evaluation.
+    device:
+        A :class:`~repro.simt.Device`, a ``DeviceSpec``, or ``None``
+        (fresh K40c); the emulated-kernel timeline is returned on the
+        result.
+
+    Returns
+    -------
+    MultisplitResult
+        Permuted keys/values, bucket boundaries, and simulated timings.
+    """
+    spec = as_bucket_spec(spec_or_fn, num_buckets)
+    method = Method(method)
+    if method is Method.AUTO:
+        method = _pick_auto(spec.num_buckets)
+
+    if method is Method.DIRECT:
+        return direct_multisplit(keys, spec, values=values, device=device,
+                                 warps_per_block=warps_per_block, **kwargs)
+    if method is Method.WARP:
+        return warp_level_multisplit(keys, spec, values=values, device=device,
+                                     warps_per_block=warps_per_block, **kwargs)
+    if method is Method.BLOCK:
+        return block_level_multisplit(keys, spec, values=values, device=device,
+                                      warps_per_block=warps_per_block, **kwargs)
+    if method is Method.SPARSE_BLOCK:
+        return sparse_block_multisplit(keys, spec, values=values, device=device,
+                                       warps_per_block=warps_per_block, **kwargs)
+    if method is Method.SCAN_SPLIT:
+        return scan_split_multisplit(keys, spec, values=values, device=device, **kwargs)
+    if method is Method.RECURSIVE_SPLIT:
+        return recursive_scan_split_multisplit(keys, spec, values=values,
+                                               device=device, **kwargs)
+    if method is Method.REDUCED_BIT:
+        return reduced_bit_multisplit(keys, spec, values=values, device=device, **kwargs)
+    if method is Method.RADIX_SORT:
+        return sort_based_multisplit(keys, spec, values=values, device=device, **kwargs)
+    if method is Method.RANDOMIZED:
+        return randomized_multisplit(keys, spec, values=values, device=device,
+                                     warps_per_block=warps_per_block, **kwargs)
+    raise ValueError(f"unhandled method {method!r}")  # pragma: no cover
+
+
+def multisplit_kv(keys: np.ndarray, values: np.ndarray, spec_or_fn,
+                  num_buckets: int | None = None, **kwargs) -> MultisplitResult:
+    """Key-value convenience wrapper around :func:`multisplit`."""
+    return multisplit(keys, spec_or_fn, num_buckets, values=values, **kwargs)

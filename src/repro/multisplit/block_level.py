@@ -1,0 +1,281 @@
+"""Block-level Multisplit (paper Sections 5.1–5.3).
+
+Block-sized subproblems: per-warp ballot histograms are combined
+hierarchically (warp -> block) in shared memory, the device-wide scan
+shrinks by a factor of ``NW`` (it runs over ``m x num_blocks``), and the
+post-scan stage reorders the whole block bucket-major in shared memory
+before a highly coalesced global write.
+
+Two regimes, as in the paper:
+
+* ``m <= 32`` — warp histograms by ballot bitmaps; block combine via the
+  multi-reduction / multi-scan of :mod:`repro.primitives.multiscan`
+  (log NW rounds of coalesced shared accesses).
+* ``m > 32``  — Section 6.4: per-thread state scales by ``ceil(m/32)``;
+  the block combine switches to a single block-wide scan over the
+  row-vectorized ``m x NW`` histogram in shared memory (CUB-style),
+  whose footprint degrades occupancy as ``m`` grows. This is the regime
+  where Block-level MS loses to reduced-bit sort (Figure 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.primitives.multiscan import block_multireduce, block_multiscan
+from repro.primitives.scan import device_exclusive_scan, block_exclusive_scan_cost
+from repro.simt.bits import ilog2_ceil
+from repro.simt.config import WARP_WIDTH
+from .bucketing import BucketSpec
+from ._common import prepare_input, resolve_device, KEY_BYTES, VALUE_BYTES
+from .result import MultisplitResult
+from .warp_ops import warp_histogram, warp_histogram_and_offsets
+
+__all__ = ["block_level_multisplit", "MAX_SCAN_ITEMS"]
+
+# Emulation guard: the global histogram matrix H has m x L entries; cap the
+# emulated size (the real GPU code has the same footprint limit in DRAM).
+MAX_SCAN_ITEMS = 1 << 26
+
+# Calibrated per-block overhead of the hierarchical (two-level) scheme:
+# __syncthreads barriers, cross-warp bookkeeping, and the staged shared
+# traffic that the per-access counters do not capture. Fit once against
+# Table 4's block-level rows and frozen (see EXPERIMENTS.md).
+BLOCK_PRESCAN_OVERHEAD_WINST = 240
+BLOCK_POSTSCAN_OVERHEAD_WINST = 800
+
+# Per-bitmap-group, per-round issue cost of the m > 32 multi-bitmap warp
+# histogram (Section 5.3): select/and/update under register pressure and
+# strided addressing. Calibrated so Block-level MS meets radix sort near
+# m ~192 as in Figure 4.
+WIDE_GROUP_ROUND_WINST = 5
+
+
+def block_level_multisplit(keys: np.ndarray, spec: BucketSpec, *,
+                           values: np.ndarray | None = None, device=None,
+                           warps_per_block: int = 8) -> MultisplitResult:
+    """Stable multisplit with block-sized subproblems and block reordering."""
+    dev = resolve_device(device)
+    m = spec.num_buckets
+    nw = warps_per_block
+    tile = nw * WARP_WIDTH
+    data = prepare_input(keys, spec, values, tile_lanes=tile)
+    W = data.num_warps
+    L = W // nw
+    if m * L > MAX_SCAN_ITEMS:
+        raise ValueError(
+            f"histogram matrix m x L = {m}x{L} exceeds the emulation cap; "
+            "reduce n or m, or use reduced_bit_multisplit for large bucket counts"
+        )
+    if m <= WARP_WIDTH:
+        return _small_m(dev, data, spec, m, nw, tile, L)
+    return _large_m(dev, data, spec, m, nw, tile, L)
+
+
+# ---------------------------------------------------------------------------
+# m <= 32: ballot bitmaps + hierarchical multi-reduce / multi-scan
+# ---------------------------------------------------------------------------
+
+def _small_m(dev, data, spec: BucketSpec, m: int, nw: int, tile: int, L: int):
+    W, n = data.num_warps, data.n
+    kv = data.values is not None
+    ids64 = data.ids.astype(np.int64)
+    block_of_warp = np.arange(W, dtype=np.int64) // nw
+
+    # ---- pre-scan: warp histograms -> block histograms -> H[m][L] --------
+    with dev.kernel("prescan:block_histogram", nw) as k:
+        gang = k.gang(W)
+        k.gmem.read_streaming(n, data.key_bytes)
+        gang.charge(spec.instruction_cost)
+        hist = warp_histogram(gang, data.ids, m, data.valid_or_none)
+        h2 = hist.reshape(L, nw, m).transpose(0, 2, 1)  # (L, m, NW)
+        block_hist = block_multireduce(k, h2)           # (L, m)
+        k.counters.warp_instructions += L * BLOCK_PRESCAN_OVERHEAD_WINST
+        k.gmem.write_streaming(m * L, 4)
+
+    # ---- scan: device scan over row-vectorized H (m x L) ------------------
+    G = device_exclusive_scan(dev, block_hist.T.ravel(), stage="scan").reshape(m, L)
+
+    # ---- post-scan: hierarchical offsets, block reorder, coalesced write --
+    with dev.kernel("postscan:block_reorder_scatter", nw) as k:
+        gang = k.gang(W)
+        k.gmem.read_streaming(n, data.key_bytes)
+        if kv:
+            k.gmem.read_streaming(n, VALUE_BYTES)
+        gang.charge(spec.instruction_cost)
+        hist2, offsets = warp_histogram_and_offsets(gang, data.ids, m, data.valid_or_none)
+        k.counters.warp_instructions += L * BLOCK_POSTSCAN_OVERHEAD_WINST
+        h2 = hist2.reshape(L, nw, m).transpose(0, 2, 1)
+        prev_warps = block_multiscan(k, h2)             # (L, m, NW) term 2 of eq. (2)
+
+        w_local = (np.arange(W, dtype=np.int64) % nw)[:, None]
+        l_of = block_of_warp[:, None]
+        block_off = prev_warps[l_of, ids64, w_local] + offsets
+
+        # bucket starts within the block: one warp scans the block histogram
+        # with shuffles (m <= 32 values)
+        k.counters.warp_instructions += L * 10
+        bstart_block = np.cumsum(block_hist, axis=1) - block_hist  # (L, m)
+        new_idx = bstart_block[l_of, ids64] + block_off            # position in block
+        gang.charge(3)
+
+        # reorder key(-value) pairs bucket-major in shared memory
+        k.smem.alloc(tile * (8 if kv else 4) + m * nw * 4)
+        smem_scatter = new_idx.reshape(-1, WARP_WIDTH)
+        k.smem.access(smem_scatter, None if data.all_valid else data.valid)
+        if kv:
+            k.smem.access(smem_scatter, None if data.all_valid else data.valid)
+        k.smem.access_coalesced(W * (2 if kv else 1))   # coalesced read-back
+
+        # global offsets staged coalesced through shared memory
+        k.gmem.read_streaming(m * L, 4)
+        k.smem.access_coalesced(L * (-(-m // WARP_WIDTH)))
+        final = G[ids64, l_of] + block_off
+        gang.charge(2)
+
+        final_perm, perm_valid = _permute_by_block(final, new_idx, data, L, tile)
+        active = None if data.all_valid else perm_valid
+        k.gmem.write_warp(final_perm, data.key_bytes, active)
+        if kv:
+            k.gmem.write_warp(final_perm, VALUE_BYTES, active)
+
+    starts = np.empty(m + 1, dtype=np.int64)
+    starts[:m] = G[:, 0]
+    starts[m] = n
+    return _gather_output(data, final, starts, m, dev, method="block")
+
+
+# ---------------------------------------------------------------------------
+# m > 32: multi-bitmap warp ops + block-wide scan over m x NW shared words
+# ---------------------------------------------------------------------------
+
+def _large_m(dev, data, spec: BucketSpec, m: int, nw: int, tile: int, L: int):
+    W, n = data.num_warps, data.n
+    kv = data.values is not None
+    ids64 = data.ids.astype(np.int64)
+    block_of_warp = np.arange(W, dtype=np.int64) // nw
+    groups = -(-m // WARP_WIDTH)
+    rounds = max(1, ilog2_ceil(m))
+
+    # ---- pre-scan ----------------------------------------------------------
+    with dev.kernel("prescan:block_histogram_wide", nw) as k:
+        gang = k.gang(W)
+        k.gmem.read_streaming(n, data.key_bytes)
+        gang.charge(spec.instruction_cost)
+        # multi-bitmap warp histogram cost (Section 5.3): per round one
+        # ballot plus register ops per bitmap group, then a popc per group
+        gang.charge(rounds * (WIDE_GROUP_ROUND_WINST * groups + 2) + groups)
+        # per-warp histograms staged row-vectorized in shared, then reduced
+        k.smem.alloc(m * nw * 4)
+        k.counters.shared_accesses += L * (-(-m * nw // WARP_WIDTH)) * 2
+        k.counters.warp_instructions += L * (-(-m * nw // WARP_WIDTH))
+        k.counters.warp_instructions += L * BLOCK_PRESCAN_OVERHEAD_WINST
+        block_hist = _block_bincount(ids64, data.valid, block_of_warp, L, m)
+        k.gmem.write_streaming(m * L, 4)
+
+    # ---- scan --------------------------------------------------------------
+    G = device_exclusive_scan(dev, block_hist.T.ravel(), stage="scan").reshape(m, L)
+
+    # ---- post-scan ----------------------------------------------------------
+    with dev.kernel("postscan:block_reorder_scatter_wide", nw) as k:
+        gang = k.gang(W)
+        k.gmem.read_streaming(n, data.key_bytes)
+        if kv:
+            k.gmem.read_streaming(n, VALUE_BYTES)
+        gang.charge(spec.instruction_cost)
+        gang.charge(rounds * (WIDE_GROUP_ROUND_WINST * groups + 4) + groups + 2)  # histogram + offsets
+        k.counters.warp_instructions += L * BLOCK_POSTSCAN_OVERHEAD_WINST
+        # block-wide scan over the row-vectorized m x NW histogram (CUB)
+        k.smem.alloc(m * nw * 4)
+        block_exclusive_scan_cost(k, L, m * nw, nw)
+
+        new_idx, block_off = _block_ranks(ids64, data.valid, L, tile, m)
+        # shared-memory reorder
+        smem_scatter = new_idx.reshape(-1, WARP_WIDTH)
+        k.smem.access(smem_scatter, None if data.all_valid else data.valid)
+        if kv:
+            k.smem.access(smem_scatter, None if data.all_valid else data.valid)
+        k.smem.access_coalesced(W * (2 if kv else 1))
+
+        k.gmem.read_streaming(m * L, 4)
+        l_of = block_of_warp[:, None]
+        final = G[ids64, l_of] + block_off
+        gang.charge(2)
+
+        final_perm, perm_valid = _permute_by_block(final, new_idx, data, L, tile)
+        active = None if data.all_valid else perm_valid
+        k.gmem.write_warp(final_perm, data.key_bytes, active)
+        if kv:
+            k.gmem.write_warp(final_perm, VALUE_BYTES, active)
+
+    starts = np.empty(m + 1, dtype=np.int64)
+    starts[:m] = G[:, 0]
+    starts[m] = n
+    return _gather_output(data, final, starts, m, dev, method="block")
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _block_bincount(ids64, valid, block_of_warp, L: int, m: int) -> np.ndarray:
+    """Exact per-block histograms, ``(L, m)``."""
+    l_of = np.broadcast_to(block_of_warp[:, None], ids64.shape)
+    flat = (l_of * m + ids64)[valid]
+    return np.bincount(flat, minlength=L * m).reshape(L, m).astype(np.int64)
+
+
+def _block_ranks(ids64, valid, L: int, tile: int, m: int):
+    """Stable bucket-major rank of every element within its block.
+
+    Returns ``(new_idx, block_off)`` where ``new_idx`` is the element's
+    slot in the reordered block and ``block_off`` its rank within its
+    bucket inside the block (terms 2+3 of equation (2)).
+    """
+    lanes = ids64.size
+    flat_ids = np.where(valid.ravel(), ids64.ravel(), m)  # invalid sorts last
+    pos = np.arange(lanes, dtype=np.int64)
+    block = pos // tile
+    order = np.lexsort((pos, flat_ids, block))
+    slot = np.empty(lanes, dtype=np.int64)
+    slot[order] = pos
+    new_idx = (slot - block * tile).reshape(ids64.shape)
+
+    # rank within (block, bucket): subtract each group's first slot
+    sorted_ids = flat_ids[order]
+    sorted_block = block[order]
+    is_start = np.empty(lanes, dtype=bool)
+    is_start[0] = True
+    is_start[1:] = (sorted_ids[1:] != sorted_ids[:-1]) | (sorted_block[1:] != sorted_block[:-1])
+    group_start = np.maximum.accumulate(np.where(is_start, pos, -1))
+    rank_sorted = pos - group_start
+    block_off_flat = np.empty(lanes, dtype=np.int64)
+    block_off_flat[order] = rank_sorted
+    return new_idx, block_off_flat.reshape(ids64.shape)
+
+
+def _permute_by_block(final, new_idx, data, L: int, tile: int):
+    """Lay the final positions out in reordered-block thread order."""
+    lanes = L * tile
+    flat = np.full(lanes, np.int64(-1))
+    dest = (np.arange(lanes, dtype=np.int64) // tile) * tile + new_idx.ravel()
+    valid_flat = data.valid.ravel()
+    flat[dest[valid_flat]] = final.ravel()[valid_flat]
+    perm_valid = (flat >= 0).reshape(-1, WARP_WIDTH)
+    np.copyto(flat, 0, where=flat < 0)
+    return flat.reshape(-1, WARP_WIDTH), perm_valid
+
+
+def _gather_output(data, final, starts, m: int, dev, method: str) -> MultisplitResult:
+    n = data.n
+    out_keys = np.empty(n, dtype=data.keys.dtype)
+    dest = final[data.valid]
+    out_keys[dest] = data.keys[data.valid]
+    out_values = None
+    if data.values is not None:
+        out_values = np.empty(n, dtype=data.values.dtype)
+        out_values[dest] = data.values[data.valid]
+    return MultisplitResult(
+        keys=out_keys, values=out_values, bucket_starts=starts,
+        method=method, num_buckets=m, timeline=dev.timeline, stable=True,
+    )

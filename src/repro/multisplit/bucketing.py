@@ -1,0 +1,160 @@
+"""Bucket identifiers: the user-provided key -> bucket mapping.
+
+The paper's multisplit takes "a function, specified by the programmer,
+that inputs a key and outputs the bucket corresponding to that key"
+(Section 3.1). A :class:`BucketSpec` carries that function in vectorized
+form plus the per-evaluation instruction cost the emulated kernel is
+charged (the ``whatBucket()`` call of Algorithm 1).
+
+Provided specs cover the paper's scenarios:
+
+* :class:`RangeBuckets` — m equal ranges of the 32-bit domain (the
+  evaluation workload of Section 6).
+* :class:`IdentityBuckets` — the trivial ``B_i = {i}`` case (Table 4's
+  "sort on identity buckets" row).
+* :class:`DeltaBuckets` — ``floor(key / delta)`` bucketing used by
+  delta-stepping SSSP.
+* :class:`PrimeCompositeBuckets` — Figure 1's prime/composite example.
+* :class:`CustomBuckets` — wrap any vectorized callable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "BucketSpec",
+    "RangeBuckets",
+    "IdentityBuckets",
+    "DeltaBuckets",
+    "PrimeCompositeBuckets",
+    "CustomBuckets",
+]
+
+
+class BucketSpec:
+    """Base class: a vectorized key -> bucket-id mapping.
+
+    Subclasses implement :meth:`ids`; ``instruction_cost`` is the number
+    of per-lane ALU instructions one evaluation costs in the emulated
+    kernel.
+    """
+
+    def __init__(self, num_buckets: int, instruction_cost: int = 2):
+        if num_buckets < 1:
+            raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+        self.num_buckets = int(num_buckets)
+        self.instruction_cost = int(instruction_cost)
+
+    def ids(self, keys: np.ndarray) -> np.ndarray:
+        """Bucket id of every key; must return uint32 in ``[0, num_buckets)``."""
+        raise NotImplementedError
+
+    def __call__(self, keys: np.ndarray) -> np.ndarray:
+        out = np.asarray(self.ids(np.asarray(keys)))
+        return out.astype(np.uint32, copy=False)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(m={self.num_buckets})"
+
+
+class RangeBuckets(BucketSpec):
+    """``m`` equal-width ranges of ``[lo, hi)`` (default: full uint32 domain)."""
+
+    def __init__(self, num_buckets: int, lo: int = 0, hi: int = 2**32):
+        super().__init__(num_buckets, instruction_cost=3)
+        if not lo < hi:
+            raise ValueError(f"empty key domain [{lo}, {hi})")
+        self.lo = int(lo)
+        self.hi = int(hi)
+
+    def ids(self, keys: np.ndarray) -> np.ndarray:
+        k = keys.astype(np.uint64)
+        span = np.uint64(self.hi - self.lo)
+        rel = k - np.uint64(self.lo)
+        if keys.size and (int(rel.max()) >= self.hi - self.lo):
+            raise ValueError("key outside bucket domain")
+        return ((rel * np.uint64(self.num_buckets)) // span).astype(np.uint32)
+
+
+class IdentityBuckets(BucketSpec):
+    """``B_i = {i}``: each key *is* its bucket id (keys must be < m)."""
+
+    def __init__(self, num_buckets: int):
+        super().__init__(num_buckets, instruction_cost=0)
+
+    def ids(self, keys: np.ndarray) -> np.ndarray:
+        if keys.size and int(keys.max()) >= self.num_buckets:
+            raise ValueError("identity bucketing requires keys < num_buckets")
+        return keys.astype(np.uint32)
+
+
+class DeltaBuckets(BucketSpec):
+    """``min(key // delta, m-1)``: delta-stepping SSSP bucketing."""
+
+    def __init__(self, delta: float, num_buckets: int):
+        super().__init__(num_buckets, instruction_cost=3)
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = delta
+
+    def ids(self, keys: np.ndarray) -> np.ndarray:
+        b = np.floor(keys.astype(np.float64) / self.delta).astype(np.int64)
+        return np.minimum(b, self.num_buckets - 1).astype(np.uint32)
+
+
+class PrimeCompositeBuckets(BucketSpec):
+    """Two buckets: primes in bucket 0, composites (and 0, 1) in bucket 1.
+
+    Uses a sieve over the observed key range, so it is intended for the
+    small-domain demo of Figure 1, not for 2^32-wide keys.
+    """
+
+    MAX_DOMAIN = 1 << 24
+
+    def __init__(self):
+        super().__init__(2, instruction_cost=8)
+
+    def ids(self, keys: np.ndarray) -> np.ndarray:
+        if keys.size == 0:
+            return np.zeros(0, dtype=np.uint32)
+        hi = int(keys.max())
+        if hi >= self.MAX_DOMAIN:
+            raise ValueError(
+                f"prime/composite bucketing supports keys < {self.MAX_DOMAIN}"
+            )
+        sieve = np.ones(hi + 1, dtype=bool)
+        sieve[:2] = False
+        for p in range(2, int(hi**0.5) + 1):
+            if sieve[p]:
+                sieve[p * p :: p] = False
+        return np.where(sieve[keys.astype(np.int64)], 0, 1).astype(np.uint32)
+
+
+class CustomBuckets(BucketSpec):
+    """Wrap an arbitrary vectorized callable ``keys -> bucket ids``."""
+
+    def __init__(self, fn, num_buckets: int, instruction_cost: int = 4):
+        super().__init__(num_buckets, instruction_cost=instruction_cost)
+        self.fn = fn
+
+    def ids(self, keys: np.ndarray) -> np.ndarray:
+        out = np.asarray(self.fn(keys))
+        if out.shape != keys.shape:
+            raise ValueError(
+                f"bucket function returned shape {out.shape} for keys of shape {keys.shape}"
+            )
+        if out.size and (int(out.min()) < 0 or int(out.max()) >= self.num_buckets):
+            raise ValueError("bucket function produced out-of-range ids")
+        return out.astype(np.uint32)
+
+
+def as_bucket_spec(spec_or_fn, num_buckets: int | None = None) -> BucketSpec:
+    """Coerce a :class:`BucketSpec` or a callable into a spec."""
+    if isinstance(spec_or_fn, BucketSpec):
+        return spec_or_fn
+    if callable(spec_or_fn):
+        if num_buckets is None:
+            raise ValueError("num_buckets is required when passing a bare callable")
+        return CustomBuckets(spec_or_fn, num_buckets)
+    raise TypeError(f"expected BucketSpec or callable, got {type(spec_or_fn).__name__}")

@@ -1,0 +1,111 @@
+"""Direct Multisplit (paper Section 5, Algorithm 1).
+
+Warp-sized subproblems, no reordering: each warp computes its bucket
+histogram with ballots (pre-scan), a single device-wide exclusive scan
+over the row-vectorized ``m x L`` histogram matrix produces global
+offsets (scan), and each warp recomputes histograms + local offsets and
+scatters its elements directly to their final positions (post-scan).
+
+The bucket ids are deliberately recomputed in the post-scan stage
+rather than stored and reloaded — the paper found recomputation cheaper
+than the extra global traffic (Section 5.1, footnote 6).
+
+``items_per_lane`` applies the thread coarsening of footnote 5: each
+lane processes that many consecutive 32-element rounds, growing the
+subproblem to ``32 * items_per_lane`` keys and dividing the global
+scan's width ``L`` by the same factor at the cost of serial per-lane
+rounds of local work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.primitives.scan import device_exclusive_scan
+from repro.simt.config import WARP_WIDTH
+from .bucketing import BucketSpec
+from ._common import prepare_input, resolve_device, KEY_BYTES, VALUE_BYTES
+from .result import MultisplitResult
+from .warp_ops import warp_histogram, warp_histogram_and_offsets
+
+__all__ = ["direct_multisplit"]
+
+
+def direct_multisplit(keys: np.ndarray, spec: BucketSpec, *, values: np.ndarray | None = None,
+                      device=None, warps_per_block: int = 8,
+                      items_per_lane: int = 1) -> MultisplitResult:
+    """Stable multisplit with warp-sized subproblems and a direct scatter."""
+    if items_per_lane < 1:
+        raise ValueError(f"items_per_lane must be >= 1, got {items_per_lane}")
+    dev = resolve_device(device)
+    m = spec.num_buckets
+    ipl = items_per_lane
+    data = prepare_input(keys, spec, values, tile_lanes=WARP_WIDTH * ipl)
+    n = data.n
+    kv = data.values is not None
+    W = data.num_warps // ipl  # logical warps (subproblems)
+
+    # per-subproblem layout: sub-round j of warp w covers the 32 keys at
+    # rows [w*ipl + j] of the padded (rows, 32) matrices
+    ids3 = data.ids.reshape(W, ipl, WARP_WIDTH)
+    valid3 = data.valid.reshape(W, ipl, WARP_WIDTH)
+    all_valid = data.all_valid
+
+    # ---- pre-scan: per-warp histograms -> H[m][L] ------------------------
+    with dev.kernel("prescan:warp_histogram", warps_per_block) as k:
+        gang = k.gang(W)
+        k.gmem.read_streaming(n, data.key_bytes)
+        gang.charge(spec.instruction_cost * ipl)
+        hist = np.zeros((W, m), dtype=np.int64)
+        for j in range(ipl):
+            hist += warp_histogram(gang, ids3[:, j, :], m,
+                                   None if all_valid else valid3[:, j, :])
+        k.gmem.write_streaming(W * m, 4)
+
+    # ---- scan: exclusive scan over row-vectorized H ----------------------
+    G = device_exclusive_scan(dev, hist.T.ravel(), stage="scan").reshape(m, W)
+
+    # ---- post-scan: recompute, compute offsets, direct scatter -----------
+    with dev.kernel("postscan:scatter", warps_per_block) as k:
+        gang = k.gang(W)
+        k.gmem.read_streaming(n, data.key_bytes)
+        if kv:
+            k.gmem.read_streaming(n, VALUE_BYTES)
+        gang.charge(spec.instruction_cost * ipl)
+        # global offsets, staged through shared memory per block (coalesced)
+        k.gmem.read_streaming(W * m, 4)
+        k.smem.alloc(warps_per_block * m * 4)
+        k.smem.access_coalesced(W * (-(-m // WARP_WIDTH)))
+
+        warp_idx = np.arange(W, dtype=np.int64)[:, None]
+        running = np.zeros((W, m), dtype=np.int64)  # same-bucket items in rounds < j
+        final3 = np.zeros((W, ipl, WARP_WIDTH), dtype=np.int64)
+        for j in range(ipl):
+            vmask = None if all_valid else valid3[:, j, :]
+            hist_j, off_j = warp_histogram_and_offsets(gang, ids3[:, j, :], m, vmask)
+            ids_j = ids3[:, j, :].astype(np.int64)
+            base = G[ids_j, warp_idx]
+            prior = np.take_along_axis(running, ids_j, axis=1)
+            gang.charge(3)  # shared fetch of base + two adds
+            final3[:, j, :] = base + prior + off_j
+            running += hist_j
+            k.gmem.write_warp(final3[:, j, :], data.key_bytes, vmask)
+            if kv:
+                k.gmem.write_warp(final3[:, j, :], VALUE_BYTES, vmask)
+
+    out_keys = np.empty(n, dtype=data.keys.dtype)
+    final = final3.reshape(-1, WARP_WIDTH)
+    dest = final[data.valid]
+    out_keys[dest] = data.keys[data.valid]
+    out_values = None
+    if kv:
+        out_values = np.empty(n, dtype=data.values.dtype)
+        out_values[dest] = data.values[data.valid]
+
+    starts = np.empty(m + 1, dtype=np.int64)
+    starts[:m] = G[:, 0]
+    starts[m] = n
+    return MultisplitResult(
+        keys=out_keys, values=out_values, bucket_starts=starts,
+        method="direct", num_buckets=m, timeline=dev.timeline, stable=True,
+    )

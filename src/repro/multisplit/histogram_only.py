@@ -1,0 +1,101 @@
+"""Histogram-only mode: bucket counts without the permutation.
+
+Several of the paper's motivating uses (sizing buffers, choosing a
+delta, load statistics) only need the *sizes* of the buckets — the
+pre-scan + scan stages of the multisplit skeleton with the post-scan
+scatter omitted. That costs roughly one key read instead of three
+accesses per element, and is exactly how the paper frames multisplit's
+relation to histogramming (Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.primitives.multiscan import block_multireduce
+from repro.primitives.scan import device_exclusive_scan
+from repro.simt.config import WARP_WIDTH
+from repro.simt.device import Timeline
+from .bucketing import as_bucket_spec
+from ._common import prepare_input, resolve_device
+from .warp_ops import warp_histogram
+
+__all__ = ["bucket_histogram", "BucketHistogram"]
+
+
+@dataclass
+class BucketHistogram:
+    """Bucket counts and boundaries, plus the emulated timeline."""
+
+    counts: np.ndarray
+    starts: np.ndarray
+    num_buckets: int
+    timeline: Timeline
+
+    @property
+    def simulated_ms(self) -> float:
+        return self.timeline.total_ms
+
+
+def bucket_histogram(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
+                     device=None, warps_per_block: int = 8,
+                     granularity: str = "block") -> BucketHistogram:
+    """Count keys per bucket (the multisplit skeleton minus the scatter).
+
+    ``granularity`` is ``"warp"`` (Direct-MS-style per-warp histograms)
+    or ``"block"`` (hierarchical, smaller global step).
+    """
+    if granularity not in ("warp", "block"):
+        raise ValueError(f"granularity must be 'warp' or 'block', got {granularity!r}")
+    spec = as_bucket_spec(spec_or_fn, num_buckets)
+    m = spec.num_buckets
+    if m > WARP_WIDTH and granularity == "warp":
+        raise ValueError(
+            f"warp-granularity histograms support m <= {WARP_WIDTH} (got {m}); "
+            "use granularity='block'")
+    dev = resolve_device(device)
+    tile = warps_per_block * WARP_WIDTH if granularity == "block" else WARP_WIDTH
+    data = prepare_input(keys, spec, None, tile_lanes=tile)
+    W = data.num_warps
+    n = data.n
+
+    with dev.kernel("prescan:histogram_only", warps_per_block) as k:
+        gang = k.gang(W)
+        k.gmem.read_streaming(n, data.key_bytes)
+        gang.charge(spec.instruction_cost)
+        if m > WARP_WIDTH:
+            # Section 5.3's multi-bitmap generalization (charged), with the
+            # exact per-block counts computed arithmetically
+            from repro.simt.bits import ilog2_ceil
+            groups = -(-m // WARP_WIDTH)
+            rounds = max(1, ilog2_ceil(m))
+            gang.charge(rounds * (2 * groups + 2) + groups)
+            L = W // warps_per_block
+            ids64 = data.ids.astype(np.int64)
+            l_of = np.repeat(np.arange(L), warps_per_block * WARP_WIDTH)
+            flat = (l_of * (m + 1)
+                    + np.where(data.valid.ravel(), ids64.ravel(), m))
+            per_sub = np.bincount(flat, minlength=L * (m + 1)).reshape(
+                L, m + 1)[:, :m]
+            k.smem.alloc(m * warps_per_block * 4)
+        else:
+            hist = warp_histogram(gang, data.ids, m, data.valid_or_none)
+            if granularity == "block":
+                L = W // warps_per_block
+                h2 = hist.reshape(L, warps_per_block, m).transpose(0, 2, 1)
+                per_sub = block_multireduce(k, h2)
+            else:
+                per_sub = hist
+        k.gmem.write_streaming(per_sub.shape[0] * m, 4)
+
+    scan = device_exclusive_scan(dev, per_sub.T.ravel().astype(np.int64),
+                                 stage="scan")
+    counts = per_sub.sum(axis=0).astype(np.int64)
+    starts = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    # the scan result's column 0 must agree with the cumulative counts
+    assert (scan.reshape(m, -1)[:, 0] == starts[:m]).all()
+    return BucketHistogram(counts=counts, starts=starts, num_buckets=m,
+                           timeline=dev.timeline)

@@ -1,0 +1,112 @@
+"""Order-preserving 32-bit key transforms (paper Section 6 intro).
+
+The paper notes its multisplit methods work "for any other 32-bit data
+(e.g., floating-point numbers)". Radix-style machinery needs keys whose
+*unsigned integer* order matches the data's natural order; these
+classic transforms provide that bijection:
+
+* float32 — flip the sign bit of non-negatives, invert all bits of
+  negatives (IEEE-754 totally ordered, including -0.0 < ... < +inf;
+  NaNs are rejected because no total order exists for them).
+* int32 — flip the sign bit.
+
+``encode_keys``/``decode_keys`` dispatch on dtype, and
+:func:`multisplit_any` wraps the public API so callers can pass float32
+or int32 keys directly with a bucket function expressed over the
+*original* values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .api import multisplit, Method
+from .bucketing import BucketSpec, CustomBuckets, as_bucket_spec
+from .result import MultisplitResult
+
+__all__ = ["encode_keys", "decode_keys", "multisplit_any"]
+
+_SIGN = np.uint32(0x80000000)
+
+
+def encode_float32(values: np.ndarray) -> np.ndarray:
+    """Monotone bijection float32 -> uint32 (rejects NaN)."""
+    values = np.ascontiguousarray(values, dtype=np.float32)
+    if np.isnan(values).any():
+        raise ValueError("cannot order NaN keys")
+    bits = values.view(np.uint32)
+    negative = (bits & _SIGN) != 0
+    return np.where(negative, ~bits, bits | _SIGN).astype(np.uint32)
+
+
+def decode_float32(keys: np.ndarray) -> np.ndarray:
+    keys = np.asarray(keys, dtype=np.uint32)
+    was_negative = (keys & _SIGN) == 0
+    bits = np.where(was_negative, ~keys, keys & ~_SIGN).astype(np.uint32)
+    return bits.view(np.float32)
+
+
+def encode_int32(values: np.ndarray) -> np.ndarray:
+    """Monotone bijection int32 -> uint32 (sign-bit flip)."""
+    values = np.ascontiguousarray(values, dtype=np.int32)
+    return (values.view(np.uint32) ^ _SIGN).astype(np.uint32)
+
+
+def decode_int32(keys: np.ndarray) -> np.ndarray:
+    keys = np.asarray(keys, dtype=np.uint32)
+    return (keys ^ _SIGN).view(np.int32)
+
+
+_CODECS = {
+    np.dtype(np.float32): (encode_float32, decode_float32),
+    np.dtype(np.int32): (encode_int32, decode_int32),
+    np.dtype(np.uint32): (lambda v: np.ascontiguousarray(v, dtype=np.uint32),
+                          lambda k: np.asarray(k, dtype=np.uint32)),
+}
+
+
+def encode_keys(values: np.ndarray) -> np.ndarray:
+    """Order-preserving uint32 encoding of float32/int32/uint32 keys."""
+    dtype = np.asarray(values).dtype
+    if dtype not in _CODECS:
+        raise TypeError(f"unsupported key dtype {dtype}; use float32/int32/uint32")
+    return _CODECS[dtype][0](values)
+
+
+def decode_keys(keys: np.ndarray, dtype) -> np.ndarray:
+    """Inverse of :func:`encode_keys` for the given original dtype."""
+    dtype = np.dtype(dtype)
+    if dtype not in _CODECS:
+        raise TypeError(f"unsupported key dtype {dtype}; use float32/int32/uint32")
+    return _CODECS[dtype][1](keys)
+
+
+def multisplit_any(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
+                   values: np.ndarray | None = None, method=Method.AUTO,
+                   **kwargs) -> MultisplitResult:
+    """Multisplit over float32/int32/uint32 keys.
+
+    The bucket function/spec receives the keys in their *original*
+    dtype. The returned result's ``keys`` are decoded back as well; the
+    encode/decode passes are free on a real GPU (fused into the loads),
+    so no extra kernel cost is charged.
+    """
+    keys = np.ascontiguousarray(keys)
+    dtype = keys.dtype
+    if dtype == np.dtype(np.uint32):
+        return multisplit(keys, spec_or_fn, num_buckets, values=values,
+                          method=method, **kwargs)
+    spec = as_bucket_spec(spec_or_fn, num_buckets)
+    encoded = encode_keys(keys)
+
+    class _EncodedSpec(BucketSpec):
+        def __init__(self):
+            super().__init__(spec.num_buckets, spec.instruction_cost + 2)
+
+        def ids(self, k):
+            return spec(decode_keys(k, dtype))
+
+    res = multisplit(encoded, _EncodedSpec(), values=values, method=method,
+                     **kwargs)
+    res.keys = decode_keys(res.keys, dtype)
+    return res

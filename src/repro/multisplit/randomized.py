@@ -1,0 +1,160 @@
+"""Randomized dart-throwing multisplit (paper Section 3.5).
+
+GPU adaptation of Meyer's PRAM bucket algorithm [18]: a global histogram
+pre-pass sizes a relaxed buffer (``relaxation`` x the exact size) per
+(block, bucket); threads then *throw darts* — random slots — into their
+bucket's shared-memory buffer, retrying on collision; filled buffers are
+flushed (with their empty slots) to global memory; a final scan-based
+compaction removes the empties.
+
+The two competing penalties the paper identifies are modeled directly:
+
+* memory — ``relaxation * n`` elements are written and re-read by the
+  compaction;
+* warp divergence — every retry round stalls the whole warp; the
+  emulation counts the actual number of rounds each warp stays live
+  (collisions are sampled for real from the dart throws).
+
+The result is a valid but *non-stable* multisplit. The paper measured
+~2x slower than radix sort at the best setting (x = 2); the ablation
+bench sweeps ``relaxation`` to reproduce the tradeoff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.primitives.histogram import histogram_per_thread
+from repro.primitives.scan import device_exclusive_scan
+from repro.simt.config import WARP_WIDTH
+from .bucketing import BucketSpec
+from ._common import resolve_device, KEY_BYTES, VALUE_BYTES
+from .result import MultisplitResult
+
+__all__ = ["randomized_multisplit"]
+
+# Warp-instructions a live warp burns per retry round: probe, collision
+# check, divergent re-probe serialization, and shared-memory replays.
+# Calibrated so the x=2 configuration lands ~2x slower than radix sort,
+# the paper's measurement (Section 3.5); see EXPERIMENTS.md.
+STALL_WINST_PER_ROUND = 400
+_MAX_ROUNDS = 512
+
+
+def randomized_multisplit(keys: np.ndarray, spec: BucketSpec, *,
+                          values: np.ndarray | None = None, device=None,
+                          relaxation: float = 2.0, warps_per_block: int = 8,
+                          seed: int = 0) -> MultisplitResult:
+    """Non-stable multisplit via randomized buffer insertion."""
+    if relaxation < 1.0:
+        raise ValueError(f"relaxation must be >= 1.0, got {relaxation}")
+    dev = resolve_device(device)
+    keys = np.ascontiguousarray(keys)
+    if keys.ndim != 1:
+        raise ValueError(f"keys must be 1-D, got shape {keys.shape}")
+    kv = values is not None
+    if kv:
+        values = np.ascontiguousarray(values)
+        if values.shape != keys.shape:
+            raise ValueError("values must match keys in shape")
+    m = spec.num_buckets
+    n = keys.size
+    kb = keys.dtype.itemsize
+    ids = spec(keys).astype(np.int64)
+    rng = np.random.default_rng(seed)
+
+    # ---- 1. histogram pre-pass to size the relaxed buffers ----------------
+    counts = histogram_per_thread(dev, ids, m, stage="histogram")
+    if n == 0:
+        return MultisplitResult(
+            keys=keys.copy(), values=(values.copy() if kv else None),
+            bucket_starts=np.zeros(m + 1, dtype=np.int64), method="randomized",
+            num_buckets=m, timeline=dev.timeline, stable=False,
+        )
+
+    tile = warps_per_block * WARP_WIDTH
+    num_blocks = -(-n // tile)
+    block = np.arange(n, dtype=np.int64) // tile
+
+    # per-(block,bucket) exact counts and relaxed capacities
+    bb = block * m + ids
+    bb_counts = np.bincount(bb, minlength=num_blocks * m)
+    expected = np.ceil(relaxation * tile * counts / n).astype(np.int64)
+    caps = np.maximum(np.broadcast_to(expected, (num_blocks, m)).ravel(), 1)
+    caps = np.maximum(caps, bb_counts)  # overflow -> in-place buffer growth (flush model)
+    # bucket-major buffer layout so compaction yields contiguous buckets
+    caps_bucket_major = caps.reshape(num_blocks, m).T.ravel()  # (m * num_blocks,)
+    buf_base = np.zeros(m * num_blocks + 1, dtype=np.int64)
+    np.cumsum(caps_bucket_major, out=buf_base[1:])
+    total_slots = int(buf_base[-1])
+    buffer_of = ids * num_blocks + block  # bucket-major buffer index
+
+    # ---- 2. insertion kernel: sampled dart throwing -----------------------
+    with dev.kernel("insert:dart_throw", warps_per_block) as k:
+        k.gmem.read_streaming(n, kb)
+        if kv:
+            k.gmem.read_streaming(n, VALUE_BYTES)
+        k.smem.alloc(min(int(relaxation * tile) * (kb + (4 if kv else 0)) + m * 8,
+                         64 * 1024))
+        occupied = np.zeros(total_slots, dtype=bool)
+        slot_of = np.empty(n, dtype=np.int64)
+        pending = np.arange(n, dtype=np.int64)
+        warp_of = np.arange(n, dtype=np.int64) // WARP_WIDTH
+        rounds = 0
+        while pending.size and rounds < _MAX_ROUNDS:
+            rounds += 1
+            cap_p = caps_bucket_major[buffer_of[pending]]
+            darts = buf_base[buffer_of[pending]] + (
+                rng.integers(0, 1 << 62, size=pending.size) % cap_p
+            )
+            # first claimant of a free slot wins this round
+            uniq, first = np.unique(darts, return_index=True)
+            win_mask = np.zeros(pending.size, dtype=bool)
+            win_mask[first] = True
+            win_mask &= ~occupied[darts]
+            winners = pending[win_mask]
+            occupied[darts[win_mask]] = True
+            slot_of[winners] = darts[win_mask]
+            # warp divergence: every warp with a live (retrying) thread stalls
+            live_warps = np.unique(warp_of[pending]).size
+            k.counters.warp_instructions += live_warps * STALL_WINST_PER_ROUND
+            k.smem.access_coalesced(live_warps)
+            pending = pending[~win_mask]
+        if pending.size:
+            # pathological tail: deterministic probe into the remaining free
+            # slots of each buffer (the real kernel's linear probing)
+            for i in pending:
+                b = buffer_of[i]
+                free = np.flatnonzero(~occupied[buf_base[b]:buf_base[b + 1]])
+                occupied[buf_base[b] + free[0]] = True
+                slot_of[i] = buf_base[b] + free[0]
+            k.counters.warp_instructions += pending.size * STALL_WINST_PER_ROUND
+        # cooperative flush of buffers (empty slots included)
+        k.gmem.write_streaming(total_slots, kb + (VALUE_BYTES if kv else 0))
+        k.counters.extra["rounds"] = rounds
+
+    # ---- 3. compaction over the relaxed buffers ---------------------------
+    flags = occupied.astype(np.int64)
+    positions = device_exclusive_scan(dev, flags, stage="compact")
+    with dev.kernel("compact:scatter") as k:
+        k.gmem.read_streaming(total_slots, kb + (VALUE_BYTES if kv else 0))
+        k.gmem.read_streaming(total_slots, 4)
+        k.gmem.write_streaming(n, kb + (VALUE_BYTES if kv else 0))
+
+    out_pos = positions[slot_of]
+    out_keys = np.empty(n, dtype=keys.dtype)
+    out_keys[out_pos] = keys
+    out_values = None
+    if kv:
+        out_values = np.empty(n, dtype=values.dtype)
+        out_values[out_pos] = values
+
+    starts = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    res = MultisplitResult(
+        keys=out_keys, values=out_values, bucket_starts=starts,
+        method="randomized", num_buckets=m, timeline=dev.timeline, stable=False,
+    )
+    res.extra["relaxation"] = relaxation
+    res.extra["buffer_slots"] = total_slots
+    return res

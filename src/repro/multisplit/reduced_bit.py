@@ -1,0 +1,148 @@
+"""Reduced-bit sort multisplit (paper Section 3.4).
+
+Sort only what multisplit needs: generate a *label* (bucket id) per key
+and radix-sort on the ``ceil(log2 m)`` label bits.
+
+* key-only — sort (label, key) pairs on the label bits; the permuted
+  keys are the multisplit output.
+* key-value — pack each (key, value) pair into one 64-bit word, sort
+  (label, packed) pairs on the label bits, unpack. The paper found this
+  pack/sort/unpack pipeline faster than sorting (label, index) and
+  gathering, because the gather's random accesses worsen with ``m``.
+
+LSB radix sort is stable, so the result is a stable multisplit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt.bits import ilog2_ceil
+from repro.sort.radix import radix_sort
+from .bucketing import BucketSpec
+from ._common import resolve_device, KEY_BYTES, VALUE_BYTES
+from .result import MultisplitResult
+
+__all__ = ["reduced_bit_multisplit", "sort_based_multisplit", "identity_sort_multisplit"]
+
+
+def _label(dev, keys, spec: BucketSpec) -> np.ndarray:
+    n = keys.size
+    with dev.kernel("labeling:make_labels") as k:
+        k.gmem.read_streaming(n, keys.dtype.itemsize)
+        k.counters.warp_instructions += (-(-n // 32)) * spec.instruction_cost
+        k.gmem.write_streaming(n, 4)
+    return spec(keys)
+
+
+def _starts_from_labels(labels: np.ndarray, m: int) -> np.ndarray:
+    counts = np.bincount(labels, minlength=m)
+    starts = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    return starts
+
+
+def reduced_bit_multisplit(keys: np.ndarray, spec: BucketSpec, *,
+                           values: np.ndarray | None = None,
+                           device=None) -> MultisplitResult:
+    """Stable multisplit by radix-sorting only the bucket-id bits."""
+    dev = resolve_device(device)
+    keys = np.ascontiguousarray(keys)
+    if keys.ndim != 1:
+        raise ValueError(f"keys must be 1-D, got shape {keys.shape}")
+    m = spec.num_buckets
+    bits = max(1, ilog2_ceil(m))
+    labels = _label(dev, keys, spec)
+    n = keys.size
+
+    if values is None:
+        sorted_labels, sorted_keys = radix_sort(
+            dev, labels, keys, bits=bits, key_bytes=4,
+            value_bytes=keys.dtype.itemsize, stage="sort",
+        )
+        return MultisplitResult(
+            keys=sorted_keys, values=None,
+            bucket_starts=_starts_from_labels(labels, m),
+            method="reduced_bit", num_buckets=m, timeline=dev.timeline, stable=True,
+        )
+
+    values = np.ascontiguousarray(values)
+    if values.shape != keys.shape:
+        raise ValueError("values must match keys in shape")
+    if keys.dtype.itemsize != 4:
+        raise ValueError(
+            "reduced-bit key-value multisplit packs (key, value) into 64 bits "
+            "and therefore requires 32-bit keys; use direct/warp/block/"
+            "sparse_block for 64-bit key-value pairs")
+    with dev.kernel("pack:pack_kv") as k:
+        k.gmem.read_streaming(n, KEY_BYTES)
+        k.gmem.read_streaming(n, VALUE_BYTES)
+        k.gmem.write_streaming(n, 8)
+    packed = (keys.astype(np.uint64) << np.uint64(32)) | values.astype(np.uint64)
+    sorted_labels, sorted_packed = radix_sort(
+        dev, labels, packed, bits=bits, key_bytes=4, value_bytes=8, stage="sort",
+    )
+    with dev.kernel("unpack:unpack_kv") as k:
+        k.gmem.read_streaming(n, 8)
+        k.gmem.write_streaming(n, KEY_BYTES)
+        k.gmem.write_streaming(n, VALUE_BYTES)
+    out_keys = (sorted_packed >> np.uint64(32)).astype(keys.dtype)
+    out_values = (sorted_packed & np.uint64(0xFFFFFFFF)).astype(values.dtype)
+    return MultisplitResult(
+        keys=out_keys, values=out_values,
+        bucket_starts=_starts_from_labels(labels, m),
+        method="reduced_bit", num_buckets=m, timeline=dev.timeline, stable=True,
+    )
+
+
+def sort_based_multisplit(keys: np.ndarray, spec: BucketSpec, *,
+                          values: np.ndarray | None = None,
+                          device=None, bits: int = 32) -> MultisplitResult:
+    """Multisplit by fully radix-sorting the keys (paper Section 3.3).
+
+    Valid only when bucket ids are monotone in the key (larger buckets
+    hold larger keys), e.g. :class:`RangeBuckets`. The result orders
+    keys within buckets too — the wasted work the paper's methods avoid —
+    and is *not* a stable multisplit (Figure 1, example 3).
+    """
+    dev = resolve_device(device)
+    keys = np.ascontiguousarray(keys)
+    labels = spec(keys)
+    order_check = np.argsort(keys, kind="stable")
+    if labels.size and (np.diff(labels[order_check].astype(np.int64)) < 0).any():
+        raise ValueError("sort-based multisplit requires buckets monotone in the key")
+    sorted_keys, sorted_values = radix_sort(
+        dev, keys, values, bits=bits, key_bytes=KEY_BYTES, value_bytes=VALUE_BYTES,
+        stage="sort",
+    )
+    return MultisplitResult(
+        keys=sorted_keys, values=sorted_values,
+        bucket_starts=_starts_from_labels(labels, spec.num_buckets),
+        method="radix_sort", num_buckets=spec.num_buckets,
+        timeline=dev.timeline, stable=False,
+    )
+
+
+def identity_sort_multisplit(keys: np.ndarray, spec: BucketSpec, *,
+                             values: np.ndarray | None = None,
+                             device=None) -> MultisplitResult:
+    """The trivial identity-bucket case (Table 4's footnoted rows).
+
+    When every key *is* its bucket id, sorting just the ``ceil(log2 m)``
+    key bits is a stable multisplit with no labeling overhead.
+    """
+    dev = resolve_device(device)
+    keys = np.ascontiguousarray(keys)
+    m = spec.num_buckets
+    if keys.size and int(keys.max()) >= m:
+        raise ValueError("identity-sort multisplit requires keys < num_buckets")
+    bits = max(1, ilog2_ceil(m))
+    sorted_keys, sorted_values = radix_sort(
+        dev, keys, values, bits=bits, key_bytes=KEY_BYTES, value_bytes=VALUE_BYTES,
+        stage="sort",
+    )
+    return MultisplitResult(
+        keys=sorted_keys, values=sorted_values,
+        bucket_starts=_starts_from_labels(spec(keys), m),
+        method="identity_sort", num_buckets=m, timeline=dev.timeline, stable=True,
+    )

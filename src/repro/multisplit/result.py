@@ -1,0 +1,89 @@
+"""Result container returned by every multisplit implementation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simt.device import Timeline
+
+__all__ = ["MultisplitResult"]
+
+
+@dataclass
+class MultisplitResult:
+    """The output of one multisplit run.
+
+    Attributes
+    ----------
+    keys:
+        Keys permuted into contiguous, ascending-id buckets.
+    values:
+        Values permuted identically, or ``None`` for key-only runs.
+    bucket_starts:
+        ``(m + 1,)`` array; bucket ``i`` occupies
+        ``keys[bucket_starts[i]:bucket_starts[i+1]]`` (the optional
+        "beginning index of each bucket" output of Section 3.1).
+    method:
+        Name of the implementation that produced this result.
+    num_buckets:
+        ``m``.
+    timeline:
+        The emulated-kernel timeline (simulated milliseconds, per stage).
+    stable:
+        Whether this implementation guarantees input order within buckets.
+    """
+
+    keys: np.ndarray
+    bucket_starts: np.ndarray
+    method: str
+    num_buckets: int
+    timeline: Timeline
+    values: np.ndarray | None = None
+    stable: bool = True
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def simulated_ms(self) -> float:
+        """Total simulated run time in milliseconds."""
+        return self.timeline.total_ms
+
+    def stage_ms(self, stage: str) -> float:
+        """Simulated milliseconds of one stage (``prescan``/``scan``/``postscan``…)."""
+        return self.timeline.stage_ms(stage)
+
+    def stages(self) -> dict[str, float]:
+        """Per-stage simulated milliseconds."""
+        return self.timeline.stages()
+
+    def bucket(self, i: int) -> np.ndarray:
+        """View of bucket ``i``'s keys."""
+        if not 0 <= i < self.num_buckets:
+            raise IndexError(f"bucket {i} out of range [0, {self.num_buckets})")
+        return self.keys[self.bucket_starts[i]:self.bucket_starts[i + 1]]
+
+    def bucket_values(self, i: int) -> np.ndarray:
+        """View of bucket ``i``'s values (key-value runs only)."""
+        if self.values is None:
+            raise ValueError("key-only multisplit has no values")
+        if not 0 <= i < self.num_buckets:
+            raise IndexError(f"bucket {i} out of range [0, {self.num_buckets})")
+        return self.values[self.bucket_starts[i]:self.bucket_starts[i + 1]]
+
+    def bucket_sizes(self) -> np.ndarray:
+        """``(m,)`` histogram implied by the bucket boundaries."""
+        return np.diff(self.bucket_starts)
+
+    def throughput_gkeys(self) -> float:
+        """Simulated processing rate in G keys/s."""
+        if self.simulated_ms <= 0:
+            return float("inf")
+        return self.keys.size / (self.simulated_ms * 1e-3) / 1e9
+
+    def __repr__(self) -> str:
+        kv = "key-value" if self.values is not None else "key-only"
+        return (
+            f"MultisplitResult({self.method}, n={self.keys.size}, m={self.num_buckets}, "
+            f"{kv}, {self.simulated_ms:.3f} simulated ms)"
+        )

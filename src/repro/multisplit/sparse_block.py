@@ -1,0 +1,166 @@
+"""Sparse-histogram block-level multisplit (paper Section 6.4's future work).
+
+The paper closes its large-``m`` analysis with: "our elements in H̄ are
+mostly zero (H̄ becomes very sparse). Future work may choose a different
+approach to address the sparsity of H̄ as bucket count becomes large."
+This module implements that approach.
+
+A block of ``tile = NW x 32`` elements can populate at most ``tile``
+buckets, no matter how large ``m`` is. Instead of materializing the
+dense ``m x NW`` histogram in shared memory (whose footprint collapses
+occupancy) and scanning the dense ``m x L`` matrix globally (whose
+traffic grows linearly in ``m``), the sparse variant:
+
+1. **locally** sorts each block's (bucket, element) pairs bucket-major
+   in shared memory (a block-wide sort of ``tile`` short keys), which
+   simultaneously yields the block's *compressed* histogram — at most
+   ``tile`` (bucket, count) pairs — and every element's block-local
+   rank; shared footprint is ``O(tile)``, independent of ``m``;
+2. **globally** sorts the ``nnz <= L x tile`` compressed histogram
+   entries by bucket (a reduced-bit radix sort over ``log2 m`` bits)
+   and scans their counts, producing exactly the ``G[bucket, block]``
+   bases the dense scan would — over ``nnz`` entries instead of
+   ``m x L``;
+3. scatters each entry's base back to its block (audited gather) and
+   writes elements out block-reordered, as Block-level MS does.
+
+For ``m`` beyond a few hundred this turns the linear-in-``m`` global
+scan and the occupancy collapse into costs that depend only on ``n``,
+extending block-level multisplit's viable range (see
+``bench_sparse_extension.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.primitives.scan import device_exclusive_scan
+from repro.simt.bits import ilog2_ceil
+from repro.simt.config import WARP_WIDTH
+from repro.sort.radix import radix_sort
+from .bucketing import BucketSpec
+from ._common import prepare_input, resolve_device, KEY_BYTES, VALUE_BYTES
+from .block_level import _block_ranks, _permute_by_block, _gather_output
+from .result import MultisplitResult
+
+__all__ = ["sparse_block_multisplit"]
+
+# block-wide bitonic sort of `tile` (bucket, lane) pairs: log2(tile)^2/2
+# compare-exchange stages; each stage costs one shared round trip plus a
+# compare-swap per element, expressed per warp below.
+_BITONIC_WINST_PER_STAGE = 3
+
+
+def _block_sort_cost(k, num_blocks: int, tile: int, payload_bytes: int) -> None:
+    """Charge a block-wide bitonic sort of ``tile`` items per block."""
+    lt = ilog2_ceil(tile)
+    stages = lt * (lt + 1) // 2
+    per_block_accesses = stages * (tile // WARP_WIDTH) * 2
+    k.counters.shared_accesses += num_blocks * per_block_accesses
+    k.counters.warp_instructions += (
+        num_blocks * stages * (tile // WARP_WIDTH) * _BITONIC_WINST_PER_STAGE)
+    k.smem.alloc(tile * payload_bytes)
+
+
+def sparse_block_multisplit(keys: np.ndarray, spec: BucketSpec, *,
+                            values: np.ndarray | None = None, device=None,
+                            warps_per_block: int = 8) -> MultisplitResult:
+    """Stable multisplit with sparse (compressed) block histograms.
+
+    Intended for large bucket counts (``m > 32``); it accepts any ``m``
+    but pays a block sort that dense Block-level MS avoids for small m.
+    """
+    dev = resolve_device(device)
+    m = spec.num_buckets
+    nw = warps_per_block
+    tile = nw * WARP_WIDTH
+    data = prepare_input(keys, spec, values, tile_lanes=tile)
+    n = data.n
+    kv = data.values is not None
+    W = data.num_warps
+    L = W // nw
+    ids64 = data.ids.astype(np.int64)
+    block_of_warp = np.arange(W, dtype=np.int64) // nw
+
+    # exact compressed histograms: per block, the sorted unique buckets
+    l_of_lane = np.repeat(np.arange(L, dtype=np.int64), tile).reshape(ids64.shape)
+    flat_pairs = (l_of_lane * (m + 1) + np.where(data.valid, ids64, m)).ravel()
+    pair_counts = np.bincount(flat_pairs, minlength=L * (m + 1)).reshape(L, m + 1)[:, :m]
+    nz_block, nz_bucket = np.nonzero(pair_counts)
+    nz_counts = pair_counts[nz_block, nz_bucket]
+    nnz = nz_block.size
+
+    # ---- pre-scan: block sort -> compressed histogram ---------------------
+    with dev.kernel("prescan:sparse_block_histogram", nw) as k:
+        gang = k.gang(W)
+        k.gmem.read_streaming(n, data.key_bytes)
+        gang.charge(spec.instruction_cost)
+        _block_sort_cost(k, L, tile, 8)
+        # compress: boundary detection + compaction of <= tile entries
+        k.counters.warp_instructions += L * (tile // WARP_WIDTH) * 2
+        k.gmem.write_streaming(nnz, 8)   # (bucket, count) pairs, CSR-style
+        k.gmem.write_streaming(L + 1, 4)  # per-block entry offsets
+
+    # ---- global: sort compressed entries by bucket, scan the counts -------
+    # entries arrive block-major / bucket-sorted within the block; one
+    # stable reduced-bit sort on the bucket id makes them bucket-major
+    label_bits = max(1, ilog2_ceil(m))
+    entry_ids = np.arange(nnz, dtype=np.uint32)
+    if nnz:
+        _, perm = radix_sort(dev, nz_bucket.astype(np.uint32), entry_ids,
+                             bits=label_bits, key_bytes=4, value_bytes=4,
+                             stage="scan")
+        order = perm.astype(np.int64)
+    else:
+        order = np.zeros(0, dtype=np.int64)
+    sorted_counts = nz_counts[order]
+    bases_sorted = device_exclusive_scan(dev, sorted_counts, stage="scan")
+    entry_base = np.empty(nnz, dtype=np.int64)
+    entry_base[order] = bases_sorted
+
+    # ---- post-scan: ranks, gather bases, block reorder, coalesced write ---
+    with dev.kernel("postscan:sparse_reorder_scatter", nw) as k:
+        gang = k.gang(W)
+        k.gmem.read_streaming(n, data.key_bytes)
+        if kv:
+            k.gmem.read_streaming(n, VALUE_BYTES)
+        gang.charge(spec.instruction_cost)
+        _block_sort_cost(k, L, tile, 8 if not kv else 12)
+        new_idx, block_off = _block_ranks(ids64, data.valid, L, tile, m)
+
+        # each block gathers its <= tile entry bases (scattered reads)
+        if nnz:
+            pad = (-nnz) % WARP_WIDTH
+            gidx = np.concatenate([np.arange(nnz, dtype=np.int64),
+                                   np.zeros(pad, dtype=np.int64)])
+            active = None
+            if pad:
+                active = np.concatenate([np.ones(nnz, dtype=bool),
+                                         np.zeros(pad, dtype=bool)]).reshape(-1, WARP_WIDTH)
+            k.gmem.read_warp(gidx.reshape(-1, WARP_WIDTH), 8, active)
+
+        # element base: its (block, bucket) entry's global base
+        entry_of = np.full((L, m), -1, dtype=np.int64)
+        entry_of[nz_block, nz_bucket] = np.arange(nnz)
+        l_of = block_of_warp[:, None]
+        entry_idx = entry_of[l_of, ids64]
+        if nnz:
+            safe = np.where(entry_idx >= 0, entry_idx, 0)
+            final = entry_base[safe] + block_off
+        else:
+            final = block_off.copy()  # n == 0: nothing valid to place
+        gang.charge(3)
+
+        final_perm, perm_valid = _permute_by_block(final, new_idx, data, L, tile)
+        active_w = None if data.all_valid else perm_valid
+        k.gmem.write_warp(final_perm, data.key_bytes, active_w)
+        if kv:
+            k.gmem.write_warp(final_perm, VALUE_BYTES, active_w)
+
+    counts = np.bincount(ids64[data.valid], minlength=m)
+    starts = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    res = _gather_output(data, final, starts, m, dev, method="sparse_block")
+    res.extra["nnz"] = int(nnz)
+    res.extra["dense_entries"] = int(m) * int(L)
+    return res

@@ -1,0 +1,112 @@
+"""Output validation: the multisplit contract of paper Section 3.1.
+
+A valid (stable) multisplit output must be
+
+1. a permutation of the input,
+2. partitioned into contiguous buckets in ascending bucket-id order,
+   with boundaries matching ``bucket_starts``, and
+3. (if stable) input-order preserving within every bucket.
+
+:func:`check_multisplit` raises :class:`MultisplitValidationError` with
+a precise description on the first violated property; it is used by the
+test suite and by the failure-injection tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bucketing import BucketSpec
+from .result import MultisplitResult
+
+__all__ = ["MultisplitValidationError", "check_multisplit", "reference_multisplit"]
+
+
+class MultisplitValidationError(AssertionError):
+    """An output violated the multisplit contract."""
+
+
+def reference_multisplit(keys: np.ndarray, spec: BucketSpec,
+                         values: np.ndarray | None = None):
+    """Oracle stable multisplit via ``np.argsort(kind='stable')``.
+
+    Returns ``(keys_out, values_out, bucket_starts)``.
+    """
+    keys = np.asarray(keys)
+    ids = spec(keys)
+    order = np.argsort(ids, kind="stable")
+    counts = np.bincount(ids, minlength=spec.num_buckets)
+    starts = np.zeros(spec.num_buckets + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    values_out = values[order] if values is not None else None
+    return keys[order], values_out, starts
+
+
+def check_multisplit(result: MultisplitResult, keys_in: np.ndarray, spec: BucketSpec,
+                     values_in: np.ndarray | None = None, *,
+                     require_stable: bool | None = None) -> None:
+    """Validate ``result`` against the input; raises on violation."""
+    keys_in = np.asarray(keys_in)
+    m = spec.num_buckets
+    if result.num_buckets != m:
+        raise MultisplitValidationError(
+            f"result reports {result.num_buckets} buckets, spec has {m}"
+        )
+    if result.keys.shape != keys_in.shape:
+        raise MultisplitValidationError(
+            f"output shape {result.keys.shape} != input shape {keys_in.shape}"
+        )
+    starts = np.asarray(result.bucket_starts)
+    if starts.shape != (m + 1,):
+        raise MultisplitValidationError(
+            f"bucket_starts must have shape ({m + 1},), got {starts.shape}"
+        )
+    if starts[0] != 0 or starts[-1] != keys_in.size:
+        raise MultisplitValidationError(
+            f"bucket_starts must span [0, n]: got [{starts[0]}, {starts[-1]}] for n={keys_in.size}"
+        )
+    if (np.diff(starts) < 0).any():
+        raise MultisplitValidationError("bucket_starts must be non-decreasing")
+
+    # boundary correctness: counts must match the input histogram
+    counts_in = np.bincount(spec(keys_in), minlength=m)
+    if not (np.diff(starts) == counts_in).all():
+        raise MultisplitValidationError(
+            "bucket sizes disagree with input histogram: "
+            f"{np.diff(starts).tolist()} vs {counts_in.tolist()}"
+        )
+
+    # contiguity: every output element lies in the bucket owning its slot
+    ids_out = spec(result.keys)
+    slot_bucket = np.searchsorted(starts[1:], np.arange(keys_in.size), side="right")
+    if not (ids_out == slot_bucket).all():
+        bad = int(np.argmax(ids_out != slot_bucket))
+        raise MultisplitValidationError(
+            f"element at output position {bad} has bucket {int(ids_out[bad])} "
+            f"but sits in bucket {int(slot_bucket[bad])}'s range"
+        )
+
+    # permutation: multiset of keys preserved
+    if not np.array_equal(np.sort(keys_in, kind="stable"), np.sort(result.keys, kind="stable")):
+        raise MultisplitValidationError("output keys are not a permutation of the input")
+
+    if values_in is not None or result.values is not None:
+        if result.values is None or values_in is None:
+            raise MultisplitValidationError("key-value run missing values on one side")
+        # each (key, value) pair must be preserved
+        pairs_in = np.stack([keys_in.astype(np.int64), np.asarray(values_in, dtype=np.int64)])
+        pairs_out = np.stack([result.keys.astype(np.int64), np.asarray(result.values, dtype=np.int64)])
+        order_in = np.lexsort(pairs_in)
+        order_out = np.lexsort(pairs_out)
+        if not (pairs_in[:, order_in] == pairs_out[:, order_out]).all():
+            raise MultisplitValidationError("key-value pairing was not preserved")
+
+    stable = result.stable if require_stable is None else require_stable
+    if stable:
+        ref_keys, ref_vals, ref_starts = reference_multisplit(keys_in, spec, values_in)
+        if not np.array_equal(ref_keys, result.keys):
+            raise MultisplitValidationError("output is not the stable permutation")
+        if ref_vals is not None and not np.array_equal(ref_vals, result.values):
+            raise MultisplitValidationError("values are not in stable order")
+        if not np.array_equal(ref_starts, starts.astype(np.int64)):
+            raise MultisplitValidationError("bucket_starts differ from oracle")

@@ -1,0 +1,115 @@
+"""Warp-level Multisplit (paper Section 5.2.1).
+
+Identical to Direct MS except in the post-scan stage: before the final
+scatter each warp *reorders* its 32 elements bucket-major in shared
+memory (a warp-local stable multisplit). The reordering costs a
+warp-wide exclusive scan over the warp histogram (``shfl_up`` rounds),
+two shuffles, and a shared-memory round trip per element — and buys a
+final write whose addresses ascend within the warp, reducing the
+load-store unit's segment issue runs. Reordering happens in the
+post-scan (not pre-scan) stage because recomputing histograms is cheaper
+than the extra global read/write a pre-scan reorder would need
+(Section 5.2.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.primitives.scan import device_exclusive_scan
+from repro.simt.config import WARP_WIDTH
+from .bucketing import BucketSpec
+from ._common import prepare_input, resolve_device, KEY_BYTES, VALUE_BYTES
+from .result import MultisplitResult
+from .warp_ops import warp_histogram, warp_histogram_and_offsets
+
+__all__ = ["warp_level_multisplit"]
+
+
+def warp_level_multisplit(keys: np.ndarray, spec: BucketSpec, *,
+                          values: np.ndarray | None = None, device=None,
+                          warps_per_block: int = 8) -> MultisplitResult:
+    """Stable multisplit with warp-sized subproblems and warp reordering."""
+    dev = resolve_device(device)
+    m = spec.num_buckets
+    if m > WARP_WIDTH:
+        raise ValueError(
+            f"warp-level MS supports m <= {WARP_WIDTH} buckets (got {m}); "
+            "use block_level_multisplit or reduced_bit_multisplit"
+        )
+    data = prepare_input(keys, spec, values)
+    W = data.num_warps
+    n = data.n
+    kv = data.values is not None
+
+    # ---- pre-scan (same as Direct MS) ------------------------------------
+    with dev.kernel("prescan:warp_histogram", warps_per_block) as k:
+        gang = k.gang(W)
+        k.gmem.read_streaming(n, data.key_bytes)
+        gang.charge(spec.instruction_cost)
+        hist = warp_histogram(gang, data.ids, m, data.valid_or_none)
+        k.gmem.write_streaming(W * m, 4)
+
+    # ---- scan -------------------------------------------------------------
+    H = hist.T
+    G = device_exclusive_scan(dev, H.ravel(), stage="scan").reshape(m, W)
+
+    # ---- post-scan: histogram + offsets + warp reorder + coalesced write --
+    with dev.kernel("postscan:reorder_scatter", warps_per_block) as k:
+        gang = k.gang(W)
+        k.gmem.read_streaming(n, data.key_bytes)
+        if kv:
+            k.gmem.read_streaming(n, VALUE_BYTES)
+        gang.charge(spec.instruction_cost)
+        hist2, offsets = warp_histogram_and_offsets(gang, data.ids, m, data.valid_or_none)
+
+        # warp-wide exclusive scan of the histogram: lane b holds the number
+        # of this warp's elements in buckets < b (equation (1) per warp)
+        lane_hist = np.zeros((W, WARP_WIDTH), dtype=np.int64)
+        lane_hist[:, :m] = hist2
+        warp_bucket_start = gang.exclusive_scan(lane_hist)
+        # each thread asks the lane in charge of its bucket for the scan result
+        start_of_mine = gang.shfl(warp_bucket_start, data.ids.astype(np.int64))
+        new_lane = start_of_mine + offsets
+        gang.charge(1)
+
+        # reorder key(-value) pairs in shared memory; the scatter addresses
+        # are a permutation of 0..31 per warp: bank-conflict free.
+        k.smem.alloc(warps_per_block * WARP_WIDTH * (8 if kv else 4))
+        k.smem.access_coalesced(W * (4 if kv else 2))
+
+        # global offsets staged through shared memory (coalesced)
+        k.gmem.read_streaming(W * m, 4)
+        k.smem.access_coalesced(W * (-(-m // WARP_WIDTH)))
+        base = G[data.ids.astype(np.int64), np.arange(W, dtype=np.int64)[:, None]]
+        gang.charge(2)
+        final = base + offsets
+
+        # permute the final positions into the reordered lane layout so the
+        # audited write sees the in-warp ascending addresses
+        final_perm = np.full((W, WARP_WIDTH), np.int64(-1))
+        valid = data.valid
+        rows = np.broadcast_to(np.arange(W, dtype=np.int64)[:, None], (W, WARP_WIDTH))
+        final_perm[rows[valid], new_lane[valid]] = final[valid]
+        perm_valid = final_perm >= 0
+        np.copyto(final_perm, 0, where=~perm_valid)
+        active = None if data.all_valid else perm_valid
+        k.gmem.write_warp(final_perm, data.key_bytes, active)
+        if kv:
+            k.gmem.write_warp(final_perm, VALUE_BYTES, active)
+
+    out_keys = np.empty(n, dtype=data.keys.dtype)
+    dest = final[data.valid]
+    out_keys[dest] = data.keys[data.valid]
+    out_values = None
+    if kv:
+        out_values = np.empty(n, dtype=data.values.dtype)
+        out_values[dest] = data.values[data.valid]
+
+    starts = np.empty(m + 1, dtype=np.int64)
+    starts[:m] = G[:, 0]
+    starts[m] = n
+    return MultisplitResult(
+        keys=out_keys, values=out_values, bucket_starts=starts,
+        method="warp", num_buckets=m, timeline=dev.timeline, stable=True,
+    )

@@ -1,0 +1,163 @@
+"""Warp-level histogram and local-offset computation (paper Algs. 2 & 3).
+
+These are the computational core of all three proposed multisplit
+methods. Each thread is responsible for the bucket matching its lane id
+(buckets ``lane, lane+32, ...`` when ``m > 32``); over ``ceil(log2 m)``
+ballot rounds every thread narrows a 32-bit bitmap of "warp lanes whose
+key might be in my bucket" (histogram) or "warp lanes sharing my key's
+bucket" (local offset). A final ``popc`` produces counts; masking with
+``lanemask_lt`` before the ``popc`` produces the rank of each key among
+its warp's same-bucket keys.
+
+Note: the paper's Algorithm 3 line 13 masks with ``0xFFFFFFFF >>
+(31-i)``, which *includes* lane ``i`` itself and would yield 1-based
+offsets; we mask with the strictly-lower lane mask so the first element
+of a bucket gets offset 0, which is what Algorithm 1's scatter needs.
+
+For ``m <= 32`` the bitmap algorithm is executed literally. For larger
+``m`` the per-thread state grows to ``ceil(m/32)`` bitmaps; we compute
+the identical result arithmetically (validated against the bitmap path
+in tests) while charging the exact scaled instruction count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt.bits import ilog2_ceil, lanemask_lt
+from repro.simt.config import WARP_WIDTH
+from repro.simt.warp import WarpGang
+
+__all__ = ["warp_histogram", "warp_offsets", "warp_histogram_and_offsets"]
+
+_FULL = np.uint32(0xFFFFFFFF)
+
+
+def _rounds(m: int) -> int:
+    return max(1, ilog2_ceil(m)) if m > 1 else 0
+
+
+def _initial_bitmap(gang: WarpGang, valid: np.ndarray | None) -> np.ndarray:
+    """Per-lane starting bitmap: all lanes, or only the valid ones."""
+    if valid is None:
+        return np.full((gang.num_warps, WARP_WIDTH), _FULL, dtype=np.uint32)
+    bits = gang.ballot(valid)
+    return np.broadcast_to(bits[:, None], (gang.num_warps, WARP_WIDTH)).copy()
+
+
+def _bitmap_paths(gang: WarpGang, bucket_id: np.ndarray, m: int,
+                  valid: np.ndarray | None, want_hist: bool, want_off: bool):
+    """Literal Algorithms 2 & 3 for m <= 32 (single bitmap per thread)."""
+    rounds = _rounds(m)
+    histo_bmp = _initial_bitmap(gang, valid) if want_hist else None
+    offset_bmp = _initial_bitmap(gang, valid) if want_off else None
+    bid = bucket_id.astype(np.uint32).copy()
+    lane = gang.lane
+    for k in range(rounds):
+        vote = gang.ballot(bid & np.uint32(1))          # one ballot per round
+        vote_col = vote[:, None]
+        if want_hist:
+            assigned_bit = ((lane >> k) & 1) != 0        # Alg 2 line 6: my assigned bucket's bit
+            histo_bmp = np.where(assigned_bit, histo_bmp & vote_col,
+                                 histo_bmp & ~vote_col)
+            gang.charge(2)
+        if want_off:
+            own_bit = (bid & np.uint32(1)) != 0          # Alg 3 line 6: my key's bucket bit
+            offset_bmp = np.where(own_bit, offset_bmp & vote_col,
+                                  offset_bmp & ~vote_col)
+            gang.charge(2)
+        bid >>= np.uint32(1)
+        gang.charge(1)
+    hist = None
+    if want_hist:
+        counts = gang.popc(histo_bmp)                    # Alg 2 line 13
+        hist = counts[:, :m].astype(np.int64)
+    offsets = None
+    if want_off:
+        mask = lanemask_lt(lane.astype(np.uint32))
+        offsets = gang.popc(offset_bmp & mask)           # Alg 3 line 13 (exclusive)
+        gang.charge(1)
+        offsets = offsets.astype(np.int64)
+        if valid is not None:
+            offsets = np.where(valid, offsets, 0)
+    return hist, offsets
+
+
+def _arithmetic_paths(gang: WarpGang, bucket_id: np.ndarray, m: int,
+                      valid: np.ndarray | None, want_hist: bool, want_off: bool):
+    """Bit-identical results for m > 32 without materializing ceil(m/32)
+    bitmaps per lane; charges the scaled instruction count of the real
+    multi-bitmap kernel (paper Section 5.3)."""
+    rounds = _rounds(m)
+    groups = -(-m // WARP_WIDTH)
+    W = gang.num_warps
+    bid = bucket_id.astype(np.int64)
+    if valid is not None:
+        bid = np.where(valid, bid, m)  # park invalid lanes in a shadow bucket
+    # --- charge the real kernel's work --------------------------------
+    if valid is not None:
+        gang.ballot(valid)
+    per_round = 1 + (2 * groups if want_hist else 0) + (2 if want_off else 0) + 1
+    gang.charge(per_round * rounds)
+    gang.charge((groups if want_hist else 0) + (2 if want_off else 0))
+    # --- compute results ------------------------------------------------
+    hist = None
+    if want_hist:
+        flat = (np.arange(W, dtype=np.int64)[:, None] * (m + 1) + bid).ravel()
+        hist = np.bincount(flat, minlength=W * (m + 1)).reshape(W, m + 1)[:, :m]
+        hist = hist.astype(np.int64)
+    offsets = None
+    if want_off:
+        order = np.argsort(bid, axis=1, kind="stable")
+        sorted_b = np.take_along_axis(bid, order, axis=1)
+        seq = np.arange(WARP_WIDTH)
+        is_start = np.empty(sorted_b.shape, dtype=bool)
+        is_start[:, 0] = True
+        is_start[:, 1:] = sorted_b[:, 1:] != sorted_b[:, :-1]
+        run_start = np.maximum.accumulate(np.where(is_start, seq, -1), axis=1)
+        rank = seq - run_start
+        offsets = np.empty((W, WARP_WIDTH), dtype=np.int64)
+        np.put_along_axis(offsets, order, rank, axis=1)
+        if valid is not None:
+            offsets = np.where(valid, offsets, 0)
+    return hist, offsets
+
+
+def _dispatch(gang, bucket_id, m, valid, want_hist, want_off, force_bitmap=False):
+    bucket_id = np.asarray(bucket_id)
+    if bucket_id.shape != (gang.num_warps, WARP_WIDTH):
+        raise ValueError(
+            f"bucket_id must have shape {(gang.num_warps, WARP_WIDTH)}, got {bucket_id.shape}"
+        )
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if m <= WARP_WIDTH or force_bitmap:
+        if m > WARP_WIDTH:
+            raise ValueError("bitmap path only supports m <= 32")
+        return _bitmap_paths(gang, bucket_id, m, valid, want_hist, want_off)
+    return _arithmetic_paths(gang, bucket_id, m, valid, want_hist, want_off)
+
+
+def warp_histogram(gang: WarpGang, bucket_id: np.ndarray, m: int,
+                   valid: np.ndarray | None = None) -> np.ndarray:
+    """Per-warp bucket histogram (paper Algorithm 2): ``(W, m)`` counts."""
+    hist, _ = _dispatch(gang, bucket_id, m, valid, True, False)
+    return hist
+
+
+def warp_offsets(gang: WarpGang, bucket_id: np.ndarray, m: int,
+                 valid: np.ndarray | None = None) -> np.ndarray:
+    """Per-key rank among same-bucket keys of its warp (Algorithm 3)."""
+    _, off = _dispatch(gang, bucket_id, m, valid, False, True)
+    return off
+
+
+def warp_histogram_and_offsets(gang: WarpGang, bucket_id: np.ndarray, m: int,
+                               valid: np.ndarray | None = None):
+    """Both results sharing one set of ballot rounds (post-scan usage).
+
+    The paper notes Algorithms 2 and 3 "share many common operations"
+    and are merged in the post-scan stage; sharing the per-round ballot
+    is exactly that optimization.
+    """
+    return _dispatch(gang, bucket_id, m, valid, True, True)

@@ -1,0 +1,25 @@
+"""Classic parallel primitives built on the SIMT substrate."""
+
+from .scan import (
+    device_exclusive_scan,
+    device_inclusive_scan,
+    block_exclusive_scan_cost,
+    SCAN_TILE,
+)
+from .reduce import device_reduce_sum, device_reduce_max
+from .compact import compact, split_by_flag
+from .histogram import histogram_atomic, histogram_per_thread, exact_counts
+from .multiscan import block_multireduce, block_multiscan
+from .segmented import segmented_exclusive_scan, segmented_reduce
+from .block_sort import block_bitonic_sort
+
+__all__ = [
+    "device_exclusive_scan", "device_inclusive_scan", "block_exclusive_scan_cost",
+    "SCAN_TILE",
+    "device_reduce_sum", "device_reduce_max",
+    "compact", "split_by_flag",
+    "histogram_atomic", "histogram_per_thread", "exact_counts",
+    "block_multireduce", "block_multiscan",
+    "segmented_exclusive_scan", "segmented_reduce",
+    "block_bitonic_sort",
+]

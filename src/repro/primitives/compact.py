@@ -1,0 +1,75 @@
+"""Scan-based stream compaction (paper Section 2.2 / Harris et al. [13]).
+
+``compact`` filters elements whose flag is set into a dense output while
+preserving order; ``split`` performs the two-sided variant (falses left,
+trues right) with a single scan, exactly as the paper's scan-based split
+baseline does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt.device import Device
+from .scan import device_exclusive_scan
+
+__all__ = ["compact", "split_by_flag"]
+
+
+def compact(device: Device, values: np.ndarray, flags: np.ndarray, *,
+            itemsize: int = 4, stage: str = "compact") -> np.ndarray:
+    """Stable filter of ``values`` where ``flags`` is non-zero."""
+    values = np.asarray(values)
+    flags = np.asarray(flags)
+    if values.shape != flags.shape or values.ndim != 1:
+        raise ValueError(
+            f"compact expects matching 1-D arrays, got {values.shape} and {flags.shape}"
+        )
+    n = values.size
+    keep = flags != 0
+    positions = device_exclusive_scan(device, keep.astype(np.int64), stage=stage)
+    with device.kernel(f"{stage}:scatter") as k:
+        if n:
+            k.gmem.read_streaming(n, itemsize)      # values
+            k.gmem.read_streaming(n, 4)             # scan results
+            pad = (-n) % 32
+            idx = np.concatenate([positions, np.zeros(pad, dtype=np.int64)]).reshape(-1, 32)
+            active = np.concatenate([keep, np.zeros(pad, dtype=bool)]).reshape(-1, 32)
+            k.gmem.write_warp(idx, itemsize, active)
+    return values[keep]
+
+
+def split_by_flag(device: Device, values: np.ndarray, flags: np.ndarray, *,
+                  itemsize: int = 4, stage: str = "split"):
+    """Two-bucket stable split: flag==0 elements first, flag!=0 after.
+
+    Returns ``(out, boundary)`` where ``boundary`` is the index of the
+    first flag!=0 element. Implemented with one device scan: the scan of
+    the flags gives positions on the right side; ``i - scan_i`` gives
+    positions on the left, the classic split trick [13].
+    """
+    values = np.asarray(values)
+    flags = np.asarray(flags)
+    if values.shape != flags.shape or values.ndim != 1:
+        raise ValueError(
+            f"split expects matching 1-D arrays, got {values.shape} and {flags.shape}"
+        )
+    n = values.size
+    ones = (flags != 0).astype(np.int64)
+    scan = device_exclusive_scan(device, ones, stage=stage)
+    total_ones = int(scan[-1] + ones[-1]) if n else 0
+    boundary = n - total_ones
+    dest = np.where(ones != 0, boundary + scan, np.arange(n, dtype=np.int64) - scan)
+    out = np.empty_like(values)
+    with device.kernel(f"{stage}:scatter") as k:
+        if n:
+            k.gmem.read_streaming(n, itemsize)
+            k.gmem.read_streaming(n, 4)
+            pad = (-n) % 32
+            idx = np.concatenate([dest, np.arange(pad, dtype=np.int64)]).reshape(-1, 32)
+            active = np.concatenate(
+                [np.ones(n, dtype=bool), np.zeros(pad, dtype=bool)]
+            ).reshape(-1, 32)
+            k.gmem.write_warp(idx, itemsize, active)
+            out[dest] = values
+    return out, boundary

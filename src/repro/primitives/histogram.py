@@ -1,0 +1,90 @@
+"""Device-wide histogram strategies (paper Section 2, related work).
+
+Three implementations with different contention/memory tradeoffs:
+
+* :func:`histogram_atomic` — shared-memory atomics per block, global
+  combine (Shams & Kennedy style). Cheap for many buckets; for few
+  buckets intra-warp atomic contention serializes warps, which the model
+  charges as replays equal to the hottest bucket's multiplicity.
+* :func:`histogram_per_thread` — per-thread private histograms combined
+  by a device-wide reduction (Nugteren et al. style). No contention but
+  ``threads x m`` intermediate traffic.
+* :func:`histogram_ballot` — the paper's warp-synchronous ballot/popc
+  scheme (Algorithm 2), re-exported from the multisplit core.
+
+All return exact counts (``np.bincount`` semantics) while charging their
+strategy's cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt.config import WARP_WIDTH
+from repro.simt.device import Device
+from .reduce import device_reduce_sum
+
+__all__ = ["histogram_atomic", "histogram_per_thread", "exact_counts"]
+
+
+def exact_counts(bucket_ids: np.ndarray, num_buckets: int) -> np.ndarray:
+    """Oracle histogram via ``np.bincount`` (no cost charged)."""
+    bucket_ids = np.asarray(bucket_ids)
+    if bucket_ids.size and (bucket_ids.min() < 0 or bucket_ids.max() >= num_buckets):
+        raise ValueError("bucket id out of range")
+    return np.bincount(bucket_ids, minlength=num_buckets).astype(np.int64)
+
+
+def _warp_conflict_replays(bucket_ids: np.ndarray) -> int:
+    """Sum over warps of the hottest-bucket multiplicity (atomic serialization)."""
+    n = bucket_ids.size
+    pad = (-n) % WARP_WIDTH
+    ids = np.concatenate([bucket_ids.astype(np.int64), np.full(pad, -1, dtype=np.int64)])
+    rows = ids.reshape(-1, WARP_WIDTH)
+    s = np.sort(rows, axis=1)
+    start = np.empty(s.shape, dtype=bool)
+    start[:, 0] = True
+    start[:, 1:] = s[:, 1:] != s[:, :-1]
+    pos = np.arange(WARP_WIDTH)
+    run_start = np.maximum.accumulate(np.where(start, pos, -1), axis=1)
+    run_len = pos - run_start + 1
+    run_len = np.where(s >= 0, run_len, 0)
+    return int(run_len.max(axis=1).sum())
+
+
+def histogram_atomic(device: Device, bucket_ids: np.ndarray, num_buckets: int, *,
+                     warps_per_block: int = 8, stage: str = "histogram") -> np.ndarray:
+    """Shared-memory-atomic histogram with a global combine."""
+    bucket_ids = np.asarray(bucket_ids)
+    n = bucket_ids.size
+    num_blocks = max(1, -(-n // (warps_per_block * WARP_WIDTH)))
+    with device.kernel(f"{stage}:atomic_block_histo", warps_per_block=warps_per_block) as k:
+        if n:
+            k.gmem.read_streaming(n, 4)
+            k.smem.alloc(num_buckets * 4)
+            # each element issues one shared atomic; conflicting lanes replay
+            k.counters.atomic_ops += _warp_conflict_replays(bucket_ids)
+            k.gmem.write_streaming(num_blocks * num_buckets, 4)
+    counts = exact_counts(bucket_ids, num_buckets)
+    # combine: reduce each bucket's per-block partials
+    device_reduce_sum(device, np.zeros(num_blocks * num_buckets, dtype=np.int64),
+                      stage=stage)
+    return counts
+
+
+def histogram_per_thread(device: Device, bucket_ids: np.ndarray, num_buckets: int, *,
+                         items_per_thread: int = 16, stage: str = "histogram") -> np.ndarray:
+    """Private per-thread histograms combined by device-wide reduction."""
+    bucket_ids = np.asarray(bucket_ids)
+    if items_per_thread < 1:
+        raise ValueError(f"items_per_thread must be >= 1, got {items_per_thread}")
+    n = bucket_ids.size
+    threads = max(1, -(-n // items_per_thread))
+    with device.kernel(f"{stage}:private_histo") as k:
+        if n:
+            k.gmem.read_streaming(n, 4)
+            # zero + sequential count per thread, then write m counters each
+            k.counters.warp_instructions += -(-n // WARP_WIDTH)
+            k.gmem.write_streaming(threads * num_buckets, 4)
+    device_reduce_sum(device, np.zeros(threads * num_buckets, dtype=np.int64), stage=stage)
+    return exact_counts(bucket_ids, num_buckets)

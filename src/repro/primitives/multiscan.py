@@ -1,0 +1,73 @@
+"""Block-level multi-reduction and multi-scan over warp histograms.
+
+Block-level MS keeps an ``m x NW`` matrix ``H2`` of per-warp histograms
+in shared memory (one column per warp, one bucket per lane). The paper
+implements:
+
+* multi-reduction over rows (block histogram) in ``log2(NW)`` rounds of
+  coalesced shared accesses (pre-scan stage), and
+* multi-scan over rows (per-bucket offsets of each warp) in
+  ``2*log2(NW)`` coalesced shared accesses (post-scan stage).
+
+These helpers compute the exact results vectorized over all blocks at
+once while charging the per-round shared traffic and warp issues.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt.bits import ilog2_ceil
+from repro.simt.config import WARP_WIDTH
+from repro.simt.device import KernelContext
+
+__all__ = ["block_multireduce", "block_multiscan"]
+
+
+def _check_h2(h2: np.ndarray) -> np.ndarray:
+    h2 = np.asarray(h2)
+    if h2.ndim != 3:
+        raise ValueError(f"H2 must be (num_blocks, m, NW), got shape {h2.shape}")
+    return h2
+
+
+def block_multireduce(k: KernelContext, h2: np.ndarray) -> np.ndarray:
+    """Per-bucket sums across the warps of each block.
+
+    ``h2`` is ``(num_blocks, m, NW)``; returns ``(num_blocks, m)``.
+    """
+    h2 = _check_h2(h2)
+    num_blocks, m, nw = h2.shape
+    rounds = ilog2_ceil(max(nw, 1)) if nw > 1 else 0
+    lanes_groups = -(-m // WARP_WIDTH)
+    k.smem.alloc(m * nw * 4)
+    # tree reduction: each round halves the active warp count; every active
+    # warp moves ceil(m/32) words coalesced.
+    active = nw
+    for _ in range(rounds):
+        active = -(-active // 2)
+        k.counters.shared_accesses += num_blocks * active * lanes_groups * 2
+        k.counters.warp_instructions += num_blocks * active * lanes_groups
+    return h2.sum(axis=2, dtype=np.int64)
+
+
+def block_multiscan(k: KernelContext, h2: np.ndarray) -> np.ndarray:
+    """Exclusive scan of each bucket row across the warps of each block.
+
+    ``h2`` is ``(num_blocks, m, NW)``; returns the same shape, where
+    entry ``[l, b, w]`` is the number of bucket-``b`` elements in warps
+    ``0..w-1`` of block ``l`` (term 2 of the paper's equation (2)).
+    """
+    h2 = _check_h2(h2)
+    num_blocks, m, nw = h2.shape
+    rounds = ilog2_ceil(max(nw, 1)) if nw > 1 else 0
+    lanes_groups = -(-m // WARP_WIDTH)
+    k.smem.alloc(m * nw * 4)
+    # Hillis-Steele across warps: 2*log2(NW) coalesced shared accesses (paper 5.2.2)
+    k.counters.shared_accesses += num_blocks * nw * lanes_groups * 2 * max(rounds, 1)
+    k.counters.warp_instructions += num_blocks * nw * lanes_groups * max(rounds, 1)
+    inclusive = np.cumsum(h2, axis=2, dtype=np.int64)
+    out = np.empty_like(inclusive)
+    out[:, :, 0] = 0
+    out[:, :, 1:] = inclusive[:, :, :-1]
+    return out

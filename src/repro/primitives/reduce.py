@@ -1,0 +1,41 @@
+"""Device-wide reduction (CUB ``DeviceReduce``-like)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt.device import Device
+
+__all__ = ["device_reduce_sum", "device_reduce_max"]
+
+_REDUCE_TILE = 4096
+
+
+def _device_reduce(device: Device, values: np.ndarray, itemsize: int, stage: str):
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValueError(f"device reduce expects a 1-D array, got shape {values.shape}")
+    n = values.size
+    with device.kernel(f"{stage}:device_reduce", library=True) as k:
+        if n:
+            tiles = -(-n // _REDUCE_TILE)
+            k.gmem.read_streaming(n, itemsize)
+            k.gmem.write_streaming(tiles, 8)
+            k.gmem.read_streaming(tiles, 8)
+            k.gmem.write_streaming(1, 8)
+            k.counters.warp_instructions += -(-n // 32)
+
+
+def device_reduce_sum(device: Device, values: np.ndarray, *, itemsize: int = 4,
+                      stage: str = "reduce") -> int:
+    """Device-wide sum; returns a Python int."""
+    _device_reduce(device, values, itemsize, stage)
+    return int(np.sum(np.asarray(values), dtype=np.int64)) if np.asarray(values).size else 0
+
+
+def device_reduce_max(device: Device, values: np.ndarray, *, itemsize: int = 4,
+                      stage: str = "reduce") -> int:
+    """Device-wide max; returns a Python int (0 for empty input)."""
+    _device_reduce(device, values, itemsize, stage)
+    arr = np.asarray(values)
+    return int(arr.max()) if arr.size else 0

@@ -1,0 +1,82 @@
+"""Device-, block-, and warp-level scan primitives.
+
+The device-wide scan models a CUB-style single-pass chained scan
+(decoupled look-back): each element is read once and written once, plus
+a small per-tile partials exchange. The paper uses CUB's device scan for
+its global stage; Table 4's "Scan" column is reproduced by this model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt.device import Device, KernelContext
+
+__all__ = [
+    "device_exclusive_scan",
+    "device_inclusive_scan",
+    "block_exclusive_scan_cost",
+    "SCAN_TILE",
+]
+
+# CUB-like tile: 128 threads x 15-ish items; the partials term is tiny either way.
+SCAN_TILE = 2048
+
+
+def _device_scan(device: Device, values: np.ndarray, itemsize: int, stage: str,
+                 exclusive: bool) -> np.ndarray:
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValueError(f"device scan expects a 1-D array, got shape {values.shape}")
+    n = values.size
+    kind = "exclusive" if exclusive else "inclusive"
+    with device.kernel(f"{stage}:device_scan_{kind}", library=True) as k:
+        if n:
+            tiles = -(-n // SCAN_TILE)
+            k.gmem.read_streaming(n, itemsize)
+            k.gmem.write_streaming(n, itemsize)
+            # decoupled look-back partials: one flagged partial per tile
+            k.gmem.write_streaming(tiles, 8)
+            k.gmem.read_streaming(tiles, 8)
+            # raking scan ALU: ~3 ops per element, expressed per warp
+            k.counters.warp_instructions += 3 * (-(-n // 32))
+    acc = np.cumsum(values, dtype=np.int64)
+    if not exclusive:
+        return acc
+    out = np.empty(n, dtype=np.int64)
+    if n:
+        out[0] = 0
+        out[1:] = acc[:-1]
+    return out
+
+
+def device_exclusive_scan(device: Device, values: np.ndarray, *, itemsize: int = 4,
+                          stage: str = "scan") -> np.ndarray:
+    """Device-wide exclusive prefix-sum (CUB ``DeviceScan::ExclusiveSum``)."""
+    return _device_scan(device, values, itemsize, stage, exclusive=True)
+
+
+def device_inclusive_scan(device: Device, values: np.ndarray, *, itemsize: int = 4,
+                          stage: str = "scan") -> np.ndarray:
+    """Device-wide inclusive prefix-sum (CUB ``DeviceScan::InclusiveSum``)."""
+    return _device_scan(device, values, itemsize, stage, exclusive=False)
+
+
+def block_exclusive_scan_cost(k: KernelContext, num_blocks: int, block_items: int,
+                              warps_per_block: int) -> None:
+    """Charge the cost of a CUB-style block-wide scan of ``block_items``
+    shared-memory words, run by every one of ``num_blocks`` blocks.
+
+    Used by Block-level MS when ``m > 32`` (paper Section 6.4): the
+    row-vectorized histogram matrix of size ``m x NW`` is scanned
+    block-wide in shared memory. Raking model: each thread owns
+    ``block_items / (32 * NW)`` words, scans them serially, then a single
+    warp scans the per-thread partials.
+    """
+    threads = warps_per_block * 32
+    per_thread = -(-block_items // threads)
+    warp_accesses = -(-block_items // 32)
+    # store + load each word once, plus the partial exchange
+    k.counters.shared_accesses += num_blocks * (2 * warp_accesses + 2 * warps_per_block)
+    # serial per-thread scan + warp scan of partials, in warp-issue units
+    k.counters.warp_instructions += num_blocks * (2 * per_thread * warps_per_block + 10)

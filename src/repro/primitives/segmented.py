@@ -1,0 +1,83 @@
+"""Segmented scan and reduction (multi-scan over irregular segments).
+
+The paper's "multi-" operators (Section 2.2: "running multiple
+instances of that operator in parallel on separate inputs") are the
+regular special case; the segmented forms here handle irregular segment
+lengths and back the MSD radix sort's per-segment work and the
+hash-join partition processing. Modeled as CUB-like library kernels:
+one flagged pass over the data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt.device import Device
+
+__all__ = ["segmented_exclusive_scan", "segmented_reduce"]
+
+
+def _check(values: np.ndarray, segment_starts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    values = np.asarray(values)
+    starts = np.asarray(segment_starts, dtype=np.int64)
+    if values.ndim != 1 or starts.ndim != 1:
+        raise ValueError("values and segment_starts must be 1-D")
+    if starts.size < 1 or starts[0] != 0 or starts[-1] != values.size:
+        raise ValueError(
+            f"segment_starts must run from 0 to len(values)={values.size}, "
+            f"got [{starts[0] if starts.size else '-'}, {starts[-1] if starts.size else '-'}]"
+        )
+    if (np.diff(starts) < 0).any():
+        raise ValueError("segment_starts must be non-decreasing")
+    return values, starts
+
+
+def segmented_exclusive_scan(device: Device, values: np.ndarray,
+                             segment_starts: np.ndarray, *, itemsize: int = 4,
+                             stage: str = "scan") -> np.ndarray:
+    """Exclusive prefix-sum restarting at every segment boundary.
+
+    ``segment_starts`` is ``(num_segments + 1,)`` with
+    ``segment_starts[0] == 0`` and ``segment_starts[-1] == len(values)``.
+    """
+    values, starts = _check(values, segment_starts)
+    n = values.size
+    with device.kernel(f"{stage}:segmented_scan", library=True) as k:
+        if n:
+            k.gmem.read_streaming(n, itemsize)
+            k.gmem.read_streaming(starts.size, 4)   # segment flags/offsets
+            k.gmem.write_streaming(n, itemsize)
+            k.counters.warp_instructions += 4 * (-(-n // 32))
+    acc = np.cumsum(values, dtype=np.int64)
+    out = np.empty(n, dtype=np.int64)
+    if n:
+        out[0] = 0
+        out[1:] = acc[:-1]
+        # subtract each segment's running base so sums restart per segment
+        seg_base = np.zeros(starts.size - 1, dtype=np.int64)
+        nonempty = starts[:-1] < n
+        seg_base[nonempty] = out[starts[:-1][nonempty]]
+        seg_of = np.searchsorted(starts[1:], np.arange(n), side="right")
+        out -= seg_base[seg_of]
+    return out
+
+
+def segmented_reduce(device: Device, values: np.ndarray,
+                     segment_starts: np.ndarray, *, itemsize: int = 4,
+                     stage: str = "reduce") -> np.ndarray:
+    """Per-segment sums; returns ``(num_segments,)``."""
+    values, starts = _check(values, segment_starts)
+    n = values.size
+    with device.kernel(f"{stage}:segmented_reduce", library=True) as k:
+        if n:
+            k.gmem.read_streaming(n, itemsize)
+            k.gmem.read_streaming(starts.size, 4)
+            k.gmem.write_streaming(starts.size - 1, 8)
+            k.counters.warp_instructions += 2 * (-(-n // 32))
+    num_segments = starts.size - 1
+    if num_segments == 0:
+        return np.zeros(0, dtype=np.int64)
+    # prefix-sum difference handles empty segments correctly (np.add.reduceat
+    # would repeat the following value there)
+    csum = np.concatenate([[0], np.cumsum(values, dtype=np.int64)])
+    return csum[starts[1:]] - csum[starts[:-1]]

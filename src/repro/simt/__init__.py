@@ -1,0 +1,36 @@
+"""SIMT emulation substrate: warps, memory auditing, and the cost model.
+
+This package is the "GPU" our multisplit implementations run on. See
+DESIGN.md §2 for the substitution rationale (no physical GPU available).
+"""
+
+from .bits import (
+    popcount32,
+    popcount64,
+    lanemask_lt,
+    lanemask_le,
+    ffs32,
+    bit_reverse32,
+    next_pow2,
+    ilog2_ceil,
+)
+from .config import DeviceSpec, K40C, GTX750TI, WARP_WIDTH
+from .counters import KernelCounters
+from .costmodel import CostModel, KernelTime
+from .device import Device, KernelContext, LaunchRecord, Timeline
+from .errors import SimtError, LaunchConfigError, MemoryAuditError, IntrinsicError
+from .memory import GlobalMemoryAuditor, SharedMemoryModel, warp_sector_count, warp_issue_runs
+from .trace import ascii_gantt, stage_bars
+from .warp import WarpGang
+
+__all__ = [
+    "popcount32", "popcount64", "lanemask_lt", "lanemask_le", "ffs32",
+    "bit_reverse32", "next_pow2", "ilog2_ceil",
+    "DeviceSpec", "K40C", "GTX750TI", "WARP_WIDTH",
+    "KernelCounters", "CostModel", "KernelTime",
+    "Device", "KernelContext", "LaunchRecord", "Timeline",
+    "SimtError", "LaunchConfigError", "MemoryAuditError", "IntrinsicError",
+    "GlobalMemoryAuditor", "SharedMemoryModel", "warp_sector_count", "warp_issue_runs",
+    "ascii_gantt", "stage_bars",
+    "WarpGang",
+]

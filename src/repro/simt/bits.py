@@ -1,0 +1,95 @@
+"""Vectorized bit-manipulation utilities used by the warp emulator.
+
+These mirror the integer intrinsics CUDA exposes to device code
+(``__popc``, lane masks, ``__ffs``-style scans) as vectorized numpy
+operations over arbitrary-shaped ``uint32``/``uint64`` arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "popcount32",
+    "popcount64",
+    "lanemask_lt",
+    "lanemask_le",
+    "ffs32",
+    "bit_reverse32",
+    "next_pow2",
+    "ilog2_ceil",
+]
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+FULL_MASK = np.uint32(0xFFFFFFFF)
+
+
+def popcount32(x: np.ndarray | int) -> np.ndarray:
+    """Number of set bits in each 32-bit element (CUDA ``__popc``)."""
+    x = np.asarray(x, dtype=np.uint32)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(x).astype(np.int32)
+    # SWAR popcount fallback; unsigned arithmetic wraps mod 2**32 by design.
+    x = x - ((x >> np.uint32(1)) & np.uint32(0x55555555))
+    x = (x & np.uint32(0x33333333)) + ((x >> np.uint32(2)) & np.uint32(0x33333333))
+    x = (x + (x >> np.uint32(4))) & np.uint32(0x0F0F0F0F)
+    return ((x * np.uint32(0x01010101)) >> np.uint32(24)).astype(np.int32)
+
+
+def popcount64(x: np.ndarray | int) -> np.ndarray:
+    """Number of set bits in each 64-bit element (CUDA ``__popcll``)."""
+    x = np.asarray(x, dtype=np.uint64)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(x).astype(np.int32)
+    lo = (x & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    hi = (x >> np.uint64(32)).astype(np.uint32)
+    return popcount32(lo) + popcount32(hi)
+
+
+def lanemask_lt(lane: np.ndarray | int) -> np.ndarray:
+    """Bitmask of lanes strictly below ``lane`` (CUDA ``%lanemask_lt``)."""
+    lane = np.asarray(lane, dtype=np.uint32)
+    # (1 << lane) - 1, defined for lane in [0, 32)
+    return ((np.uint64(1) << lane.astype(np.uint64)) - np.uint64(1)).astype(np.uint32)
+
+
+def lanemask_le(lane: np.ndarray | int) -> np.ndarray:
+    """Bitmask of lanes at or below ``lane`` (CUDA ``%lanemask_le``)."""
+    lane = np.asarray(lane, dtype=np.uint32)
+    shifted = np.uint64(1) << (lane.astype(np.uint64) + np.uint64(1))
+    return (shifted - np.uint64(1)).astype(np.uint32)
+
+
+def ffs32(x: np.ndarray | int) -> np.ndarray:
+    """1-based position of the least significant set bit; 0 when ``x == 0``.
+
+    Matches CUDA's ``__ffs``.
+    """
+    x = np.asarray(x, dtype=np.uint32)
+    isolated = x & (~x + np.uint32(1))  # lowest set bit, two's complement trick
+    return np.where(x == 0, 0, popcount32(isolated - np.uint32(1)) + 1).astype(np.int32)
+
+
+def bit_reverse32(x: np.ndarray | int) -> np.ndarray:
+    """Reverse the bit order of each 32-bit element (CUDA ``__brev``)."""
+    x = np.asarray(x, dtype=np.uint32)
+    x = ((x >> np.uint32(1)) & np.uint32(0x55555555)) | ((x & np.uint32(0x55555555)) << np.uint32(1))
+    x = ((x >> np.uint32(2)) & np.uint32(0x33333333)) | ((x & np.uint32(0x33333333)) << np.uint32(2))
+    x = ((x >> np.uint32(4)) & np.uint32(0x0F0F0F0F)) | ((x & np.uint32(0x0F0F0F0F)) << np.uint32(4))
+    x = ((x >> np.uint32(8)) & np.uint32(0x00FF00FF)) | ((x & np.uint32(0x00FF00FF)) << np.uint32(8))
+    return ((x >> np.uint32(16)) | (x << np.uint32(16))).astype(np.uint32)
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= ``n`` (n >= 1)."""
+    if n < 1:
+        raise ValueError(f"next_pow2 requires n >= 1, got {n}")
+    return 1 << (int(n) - 1).bit_length()
+
+
+def ilog2_ceil(n: int) -> int:
+    """``ceil(log2(n))`` for integer ``n >= 1``; 0 when n == 1."""
+    if n < 1:
+        raise ValueError(f"ilog2_ceil requires n >= 1, got {n}")
+    return (int(n) - 1).bit_length()

@@ -1,0 +1,151 @@
+"""Device specifications for the cost model.
+
+Two profiles reproduce the paper's experimental platforms:
+
+* :data:`K40C` — NVIDIA Tesla K40c (Kepler GK110B), the paper's primary
+  device: 288 GB/s DRAM, 15 SMs, 745 MHz base clock.
+* :data:`GTX750TI` — NVIDIA GeForce GTX 750 Ti (Maxwell GM107), the
+  paper's secondary device: 86.4 GB/s DRAM, 5 SMs, 1020 MHz.
+
+All *calibrated* constants (efficiency factors, instruction throughput,
+overlap) are documented in EXPERIMENTS.md; they were fit once against
+the anchor rows of the paper's Tables 3 and 4 and then frozen — every
+other table/figure is a prediction of the model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "K40C", "GTX750TI", "WARP_WIDTH"]
+
+WARP_WIDTH = 32
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a GPU used to convert audited work into time.
+
+    Attributes
+    ----------
+    name, microarchitecture:
+        Human-readable identity.
+    dram_bandwidth_gbps:
+        Peak DRAM bandwidth in GB/s.
+    streaming_efficiency:
+        Fraction of peak bandwidth achieved by the paper's hand-written
+        kernels on streaming traffic (calibrated).
+    lib_efficiency:
+        Fraction of peak achieved by heavily tuned library (CUB-like)
+        kernels such as device-wide scan (calibrated).
+    sector_bytes:
+        DRAM/L2 transaction granularity (32 B on Kepler/Maxwell).
+    segment_bytes:
+        L1/coalescer segment size (128 B).
+    num_sms:
+        Number of streaming multiprocessors.
+    warp_throughput_ginst:
+        Aggregate device-wide warp-instruction issue rate in G
+        warp-instructions/s (calibrated; folds clock, SM count, and ILP).
+    lsu_throughput_ginst:
+        Aggregate load/store-unit transaction issue rate. Each
+        lane-order segment run of a warp memory access is one issue;
+        replays of divergent accesses serialize the memory pipeline, so
+        this cost sits on the memory side of the overlap model. This is
+        the resource intra-warp reordering (Warp-level MS) saves.
+    shared_throughput_ginst:
+        Aggregate warp-wide shared-memory access rate (G accesses/s,
+        counting bank-conflict replays).
+    kernel_launch_us:
+        Fixed per-kernel launch + sync overhead in microseconds.
+    overlap:
+        Fraction of the smaller of (memory time, compute time) hidden
+        under the larger one. 1.0 = perfect overlap (pure max model),
+        0.0 = fully serialized (additive model).
+    uncoalesced_sector_factor:
+        Multiplier on the *excess* (non-useful) sector traffic of
+        scattered accesses, below 1 because the L2 merges part of the
+        partial-sector traffic of adjacent warps writing into the same
+        bucket regions. Divergence additionally costs LSU issue runs
+        (see ``lsu_throughput_ginst``); on Maxwell (GM107) those runs
+        are relatively costlier than on Kepler — the paper's Section 6.3
+        observation that reordering pays off more there.
+    max_shared_bytes_per_block:
+        Shared-memory capacity used for the occupancy model (48 kB).
+    max_warps_per_sm:
+        Resident warp limit per SM.
+    full_occupancy_warps:
+        Resident warps per SM needed for full latency hiding; below this
+        the effective bandwidth degrades proportionally. Residency is
+        limited by the 16-block SM slot limit (so few-warp blocks hurt,
+        the paper's NW=2 observation) and by shared-memory footprint
+        (the paper's large-m bottleneck, Section 6.4).
+    """
+
+    name: str
+    microarchitecture: str
+    dram_bandwidth_gbps: float
+    streaming_efficiency: float
+    lib_efficiency: float
+    sector_bytes: int
+    segment_bytes: int
+    num_sms: int
+    warp_throughput_ginst: float
+    lsu_throughput_ginst: float
+    shared_throughput_ginst: float
+    kernel_launch_us: float
+    overlap: float
+    uncoalesced_sector_factor: float
+    max_shared_bytes_per_block: int = 48 * 1024
+    max_warps_per_sm: int = 64
+    full_occupancy_warps: int = 48
+
+    def replace(self, **kwargs) -> "DeviceSpec":
+        """Return a copy with the given fields overridden."""
+        return dataclasses.replace(self, **kwargs)
+
+    @property
+    def effective_bandwidth_gbps(self) -> float:
+        """Achieved streaming bandwidth of hand-written kernels (GB/s)."""
+        return self.dram_bandwidth_gbps * self.streaming_efficiency
+
+    @property
+    def lib_bandwidth_gbps(self) -> float:
+        """Achieved streaming bandwidth of library kernels (GB/s)."""
+        return self.dram_bandwidth_gbps * self.lib_efficiency
+
+
+K40C = DeviceSpec(
+    name="Tesla K40c",
+    microarchitecture="Kepler",
+    dram_bandwidth_gbps=288.0,
+    streaming_efficiency=0.55,
+    lib_efficiency=0.65,
+    sector_bytes=32,
+    segment_bytes=128,
+    num_sms=15,
+    warp_throughput_ginst=40.0,
+    lsu_throughput_ginst=40.0,
+    shared_throughput_ginst=60.0,
+    kernel_launch_us=5.0,
+    overlap=0.6,
+    uncoalesced_sector_factor=0.40,
+)
+
+GTX750TI = DeviceSpec(
+    name="GeForce GTX 750 Ti",
+    microarchitecture="Maxwell",
+    dram_bandwidth_gbps=86.4,
+    streaming_efficiency=0.60,
+    lib_efficiency=0.72,
+    sector_bytes=32,
+    segment_bytes=128,
+    num_sms=5,
+    warp_throughput_ginst=16.0,
+    lsu_throughput_ginst=13.0,
+    shared_throughput_ginst=25.0,
+    kernel_launch_us=5.0,
+    overlap=0.6,
+    uncoalesced_sector_factor=0.45,
+)

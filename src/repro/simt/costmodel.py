@@ -1,0 +1,99 @@
+"""Cost model: audited counters -> simulated milliseconds.
+
+The model charges three overlapping resources per kernel:
+
+* DRAM time — sector traffic divided by achieved bandwidth. Useful bytes
+  are charged at face value; the *excess* sector traffic of scattered
+  accesses is additionally weighted by the device's
+  ``uncoalesced_sector_factor`` (Maxwell hides divergent-access latency
+  less well than Kepler; paper Section 6.3).
+* issue/ALU time — warp instructions, shared-memory accesses (with
+  bank-conflict replays) and memory issue runs at the device's issue
+  throughputs.
+* a fixed kernel launch overhead.
+
+Memory and compute partially overlap: the kernel's time is the larger
+of the two plus ``(1 - overlap)`` of the smaller, plus launch overhead.
+An occupancy term derates bandwidth when a block's shared-memory
+footprint prevents enough resident warps to hide DRAM latency
+(paper Section 6.4's large-``m`` bottleneck).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import DeviceSpec
+from .counters import KernelCounters
+
+__all__ = ["CostModel", "KernelTime"]
+
+
+@dataclass(frozen=True)
+class KernelTime:
+    """Time breakdown of one kernel, all in milliseconds."""
+
+    total_ms: float
+    mem_ms: float
+    alu_ms: float
+    launch_ms: float
+    occupancy: float
+
+
+class CostModel:
+    """Converts :class:`KernelCounters` into simulated time for one device."""
+
+    def __init__(self, spec: DeviceSpec):
+        self.spec = spec
+
+    def occupancy(self, counters: KernelCounters) -> float:
+        """Fraction of the latency-hiding warp budget this kernel sustains."""
+        spec = self.spec
+        shared = counters.shared_bytes_per_block
+        wpb = max(1, counters.warps_per_block)
+        if shared > spec.max_shared_bytes_per_block:
+            # The real kernel would not launch; model the degenerate case
+            # as a single resident block.
+            blocks_per_sm = 1
+        elif shared > 0:
+            blocks_per_sm = min(16, max(1, spec.max_shared_bytes_per_block // shared))
+        else:
+            blocks_per_sm = 16  # the hardware block-slot limit still applies
+        warps_resident = min(blocks_per_sm * wpb, spec.max_warps_per_sm)
+        return min(1.0, warps_resident / spec.full_occupancy_warps)
+
+    def kernel_time(self, counters: KernelCounters) -> KernelTime:
+        """Simulated time for one kernel launch."""
+        spec = self.spec
+        occ = self.occupancy(counters)
+        # Bandwidth derates with occupancy, but never below a floor: even a
+        # single resident block streams at some fraction of peak.
+        bw_gbps = (spec.lib_bandwidth_gbps if counters.is_library else spec.effective_bandwidth_gbps)
+        bw_gbps *= max(occ, 0.15)
+
+        read_actual = counters.global_read_bytes_actual
+        write_actual = counters.global_write_bytes_actual
+        read_excess = max(0, read_actual - counters.global_read_bytes_useful)
+        write_excess = max(0, write_actual - counters.global_write_bytes_useful)
+        traffic = (
+            counters.global_read_bytes_useful
+            + counters.global_write_bytes_useful
+            + (read_excess + write_excess) * spec.uncoalesced_sector_factor
+        )
+        mem_ms = traffic / (bw_gbps * 1e9) * 1e3
+        # divergent-access replays serialize the memory pipeline itself
+        mem_ms += counters.global_issue_runs / (spec.lsu_throughput_ginst * 1e9) * 1e3
+
+        issue_ops = counters.warp_instructions + counters.atomic_ops
+        alu_ms = issue_ops / (spec.warp_throughput_ginst * 1e9) * 1e3
+        alu_ms += counters.shared_accesses / (spec.shared_throughput_ginst * 1e9) * 1e3
+
+        launch_ms = spec.kernel_launch_us * 1e-3
+        hi, lo = max(mem_ms, alu_ms), min(mem_ms, alu_ms)
+        total = launch_ms + hi + (1.0 - spec.overlap) * lo
+        return KernelTime(total_ms=total, mem_ms=mem_ms, alu_ms=alu_ms,
+                          launch_ms=launch_ms, occupancy=occ)
+
+    def kernel_time_ms(self, counters: KernelCounters) -> float:
+        """Convenience: just the total simulated milliseconds."""
+        return self.kernel_time(counters).total_ms

@@ -1,0 +1,119 @@
+"""Work counters collected while emulating a kernel.
+
+Every audited quantity is a plain integer accumulated by the warp gang
+(:mod:`repro.simt.warp`) and memory auditor (:mod:`repro.simt.memory`);
+the cost model converts a :class:`KernelCounters` into simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["KernelCounters"]
+
+_SCALE_FIELDS = (
+    "global_read_bytes_useful",
+    "global_read_sectors",
+    "global_write_bytes_useful",
+    "global_write_sectors",
+    "global_issue_runs",
+    "warp_instructions",
+    "shared_accesses",
+    "atomic_ops",
+)
+
+
+@dataclass
+class KernelCounters:
+    """Mutable accumulator of audited work for one emulated kernel.
+
+    Attributes
+    ----------
+    global_read_bytes_useful / global_write_bytes_useful:
+        Bytes the algorithm actually consumed/produced.
+    global_read_sectors / global_write_sectors:
+        Distinct 32 B sectors touched per warp access, summed over warps
+        (set-based; this drives DRAM traffic).
+    global_issue_runs:
+        Lane-order maximal runs of same-segment accesses, summed over
+        warp accesses. A perfectly reordered warp touches each segment in
+        one run; a permuted warp re-issues segments and pays extra
+        load/store-unit work. This is the quantity intra-warp reordering
+        (Warp-level MS) improves.
+    warp_instructions:
+        Warp-wide ALU/shuffle/ballot instruction issues.
+    shared_accesses:
+        Warp-wide shared-memory accesses including bank-conflict replays.
+    atomic_ops:
+        Global/shared atomic operations issued.
+    shared_bytes_per_block:
+        Static shared-memory footprint (max over allocations) used by the
+        occupancy model; not additive work.
+    warps_per_block:
+        Launch geometry for the occupancy model.
+    """
+
+    name: str = "kernel"
+    global_read_bytes_useful: int = 0
+    global_read_sectors: int = 0
+    global_write_bytes_useful: int = 0
+    global_write_sectors: int = 0
+    global_issue_runs: int = 0
+    warp_instructions: int = 0
+    shared_accesses: int = 0
+    atomic_ops: int = 0
+    shared_bytes_per_block: int = 0
+    warps_per_block: int = 8
+    is_library: bool = False
+    extra: dict = field(default_factory=dict)
+
+    def merge(self, other: "KernelCounters") -> "KernelCounters":
+        """Accumulate another counter set into this one (in place)."""
+        for f in _SCALE_FIELDS:
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+        self.shared_bytes_per_block = max(
+            self.shared_bytes_per_block, other.shared_bytes_per_block
+        )
+        return self
+
+    def scaled(self, factor: float) -> "KernelCounters":
+        """Return a copy with all *work* fields scaled by ``factor``.
+
+        Used to extrapolate counters measured at a smaller problem size
+        to the paper's problem size; all work fields scale linearly in n
+        while launch geometry and shared footprint do not.
+        """
+        out = KernelCounters(
+            name=self.name,
+            shared_bytes_per_block=self.shared_bytes_per_block,
+            warps_per_block=self.warps_per_block,
+            is_library=self.is_library,
+            extra=dict(self.extra),
+        )
+        for f in _SCALE_FIELDS:
+            setattr(out, f, int(round(getattr(self, f) * factor)))
+        return out
+
+    def copy(self) -> "KernelCounters":
+        out = KernelCounters(**{f.name: getattr(self, f.name) for f in fields(self) if f.name != "extra"})
+        out.extra = dict(self.extra)
+        return out
+
+    @property
+    def global_read_bytes_actual(self) -> int:
+        """DRAM read traffic implied by sector counts."""
+        return self.global_read_sectors * 32
+
+    @property
+    def global_write_bytes_actual(self) -> int:
+        """DRAM write traffic implied by sector counts."""
+        return self.global_write_sectors * 32
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KernelCounters({self.name!r}, rd={self.global_read_bytes_useful}B/"
+            f"{self.global_read_sectors}sec, wr={self.global_write_bytes_useful}B/"
+            f"{self.global_write_sectors}sec, runs={self.global_issue_runs}, "
+            f"winst={self.warp_instructions}, smem={self.shared_accesses}, "
+            f"atomics={self.atomic_ops})"
+        )

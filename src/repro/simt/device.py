@@ -1,0 +1,142 @@
+"""Device front-end: kernel launches, records, and timelines.
+
+Algorithms open a :meth:`Device.kernel` context per emulated kernel
+launch; inside it they obtain a :class:`~repro.simt.warp.WarpGang` and
+the memory auditors, all wired to one :class:`KernelCounters`. Closing
+the context prices the kernel with the device's cost model and appends
+a :class:`LaunchRecord` to the device timeline.
+
+Stage attribution (the paper's pre-scan / scan / post-scan breakdown,
+Table 4) uses a ``"stage:kernel"`` naming convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import DeviceSpec, K40C, WARP_WIDTH
+from .costmodel import CostModel, KernelTime
+from .counters import KernelCounters
+from .errors import LaunchConfigError
+from .memory import GlobalMemoryAuditor, SharedMemoryModel
+from .warp import WarpGang
+
+__all__ = ["Device", "KernelContext", "LaunchRecord", "Timeline"]
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """One priced kernel launch."""
+
+    name: str
+    counters: KernelCounters
+    time: KernelTime
+
+    @property
+    def stage(self) -> str:
+        """Stage label — the part of the name before the first ':'."""
+        return self.name.split(":", 1)[0]
+
+    @property
+    def total_ms(self) -> float:
+        return self.time.total_ms
+
+
+@dataclass
+class Timeline:
+    """An ordered collection of launch records with aggregation helpers."""
+
+    spec: DeviceSpec
+    records: list[LaunchRecord] = field(default_factory=list)
+
+    @property
+    def total_ms(self) -> float:
+        return sum(r.total_ms for r in self.records)
+
+    def stage_ms(self, stage: str) -> float:
+        """Sum of kernel times whose name starts with ``stage``."""
+        return sum(r.total_ms for r in self.records if r.stage == stage)
+
+    def stages(self) -> dict[str, float]:
+        """Per-stage totals, preserving first-seen stage order."""
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.stage] = out.get(r.stage, 0.0) + r.total_ms
+        return out
+
+    def scaled(self, factor: float) -> "Timeline":
+        """Timeline extrapolated to a ``factor``-times-larger problem.
+
+        All per-element work scales linearly; launch geometry and shared
+        footprints do not. Used to report paper-scale (n = 2^25) numbers
+        from smaller emulation runs.
+        """
+        model = CostModel(self.spec)
+        out = Timeline(self.spec)
+        for r in self.records:
+            c = r.counters.scaled(factor)
+            out.records.append(LaunchRecord(r.name, c, model.kernel_time(c)))
+        return out
+
+    def merged(self, other: "Timeline") -> "Timeline":
+        out = Timeline(self.spec, list(self.records))
+        out.records.extend(other.records)
+        return out
+
+
+class KernelContext:
+    """Context for one emulated kernel launch."""
+
+    def __init__(self, device: "Device", name: str, warps_per_block: int, library: bool):
+        if warps_per_block < 1:
+            raise LaunchConfigError(f"warps_per_block must be >= 1, got {warps_per_block}")
+        self.device = device
+        self.counters = KernelCounters(name=name, warps_per_block=warps_per_block,
+                                       is_library=library)
+        self.gmem = GlobalMemoryAuditor(self.counters, device.spec)
+        self.smem = SharedMemoryModel(self.counters, device.spec)
+        self._name = name
+
+    def gang(self, num_warps: int) -> WarpGang:
+        """A warp gang whose instruction issues are charged to this kernel."""
+        return WarpGang(num_warps, self.counters)
+
+    def __enter__(self) -> "KernelContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.device._record(self._name, self.counters)
+
+
+class Device:
+    """An emulated GPU: launches kernels and accumulates a timeline."""
+
+    def __init__(self, spec: DeviceSpec = K40C):
+        self.spec = spec
+        self.model = CostModel(spec)
+        self.timeline = Timeline(spec)
+
+    def kernel(self, name: str, warps_per_block: int = 8, library: bool = False) -> KernelContext:
+        """Open a kernel-launch context named ``"stage:kernel"``."""
+        return KernelContext(self, name, warps_per_block, library)
+
+    def _record(self, name: str, counters: KernelCounters) -> None:
+        self.timeline.records.append(
+            LaunchRecord(name, counters, self.model.kernel_time(counters))
+        )
+
+    def reset(self) -> None:
+        """Drop all recorded launches."""
+        self.timeline = Timeline(self.spec)
+
+    @property
+    def total_ms(self) -> float:
+        return self.timeline.total_ms
+
+    @staticmethod
+    def warps_for(num_elements: int, per_lane: int = 1) -> int:
+        """Number of warps needed for ``num_elements`` at ``per_lane`` items/lane."""
+        if num_elements <= 0:
+            return 1
+        return -(-num_elements // (WARP_WIDTH * per_lane))

@@ -1,0 +1,47 @@
+"""Device-profile builder for what-if studies on other GPUs.
+
+The two calibrated profiles (K40C, GTX750TI) reproduce the paper's
+testbeds; :func:`make_device` derives a plausible profile for a
+different GPU from its public datasheet numbers, inheriting the
+calibrated efficiency/overlap constants from a base microarchitecture
+profile and scaling the throughput terms. Useful for "how would the
+crossovers move on a bigger part?" studies — clearly marked as
+extrapolation, not calibration.
+"""
+
+from __future__ import annotations
+
+from .config import DeviceSpec, K40C, GTX750TI
+
+__all__ = ["make_device", "TITAN_X_LIKE"]
+
+
+def make_device(name: str, *, dram_bandwidth_gbps: float, num_sms: int,
+                clock_ghz: float, base: DeviceSpec = K40C,
+                warp_schedulers_per_sm: int = 4) -> DeviceSpec:
+    """Derive a DeviceSpec from datasheet numbers.
+
+    Bandwidth is taken directly; issue throughputs scale with
+    ``num_sms * warp_schedulers_per_sm * clock_ghz`` relative to an
+    ideal Kepler-class issue rate; the calibrated efficiency, overlap,
+    and coalescing constants are inherited from ``base``.
+    """
+    if dram_bandwidth_gbps <= 0 or num_sms < 1 or clock_ghz <= 0:
+        raise ValueError("datasheet numbers must be positive")
+    issue_ginst = num_sms * warp_schedulers_per_sm * clock_ghz
+    # the base profile's calibrated throughput / ideal issue ratio
+    base_ideal = base.num_sms * 4 * 0.745 if base is K40C else base.num_sms * 4 * 1.020
+    scale = issue_ginst / base_ideal
+    return base.replace(
+        name=name,
+        dram_bandwidth_gbps=dram_bandwidth_gbps,
+        num_sms=num_sms,
+        warp_throughput_ginst=base.warp_throughput_ginst * scale,
+        lsu_throughput_ginst=base.lsu_throughput_ginst * scale,
+        shared_throughput_ginst=base.shared_throughput_ginst * scale,
+    )
+
+
+#: a Maxwell GM200-class extrapolation (Titan X era), for what-if sweeps
+TITAN_X_LIKE = make_device("Titan X (extrapolated)", dram_bandwidth_gbps=336.0,
+                           num_sms=24, clock_ghz=1.0, base=GTX750TI)

@@ -1,0 +1,19 @@
+"""Exception types for the SIMT emulation substrate."""
+
+from __future__ import annotations
+
+
+class SimtError(Exception):
+    """Base class for all substrate errors."""
+
+
+class LaunchConfigError(SimtError):
+    """Raised for invalid kernel launch configurations (bad warp/block counts)."""
+
+
+class MemoryAuditError(SimtError):
+    """Raised when an audited memory access is malformed (shape/bounds)."""
+
+
+class IntrinsicError(SimtError):
+    """Raised when a warp intrinsic is called with invalid operands."""

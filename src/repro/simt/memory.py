@@ -1,0 +1,200 @@
+"""Memory auditing: the quantities that decide multisplit performance.
+
+The paper's performance argument rests on two measurable properties of
+each kernel's global-memory traffic:
+
+* **sectors** — the number of distinct 32 B DRAM sectors a warp access
+  touches (set-based). This is the actual DRAM traffic; scattered
+  scatters inflate it.
+* **issue runs** — the number of maximal lane-order runs of the *same*
+  128 B segment within a warp access. A warp whose lanes address memory
+  in ascending bucket-major order (after intra-warp reordering) touches
+  each segment in one run; a permuted warp revisits segments and pays
+  extra issue/replay work in the load-store unit. This is what
+  Warp-level MS improves over Direct MS while leaving the sector count
+  unchanged.
+
+Both are computed from the *actual addresses the emulated algorithm
+generates* — nothing here is assumed.
+
+Shared memory is modeled with 32 banks; a warp access costs one issue
+plus one replay per extra conflicting lane on the hottest bank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import DeviceSpec, WARP_WIDTH
+from .counters import KernelCounters
+from .errors import MemoryAuditError
+
+__all__ = ["GlobalMemoryAuditor", "SharedMemoryModel", "warp_sector_count", "warp_issue_runs"]
+
+
+def _as_warp_matrix(indices: np.ndarray) -> np.ndarray:
+    indices = np.asarray(indices)
+    if indices.ndim != 2 or indices.shape[1] != WARP_WIDTH:
+        raise MemoryAuditError(
+            f"warp access must have shape (num_warps, {WARP_WIDTH}), got {indices.shape}"
+        )
+    return indices.astype(np.int64, copy=False)
+
+
+def warp_sector_count(addr_bytes: np.ndarray, sector_bytes: int, active: np.ndarray | None = None) -> np.ndarray:
+    """Distinct sectors per warp row of a ``(W, 32)`` byte-address matrix."""
+    addr_bytes = _as_warp_matrix(addr_bytes)
+    sectors = addr_bytes // sector_bytes
+    if active is not None:
+        sectors = np.where(active, sectors, np.int64(-1))
+    s = np.sort(sectors, axis=1)
+    changed = s[:, 1:] != s[:, :-1]
+    valid = s[:, 1:] >= 0
+    return (changed & valid).sum(axis=1) + (s[:, 0] >= 0)
+
+
+def warp_issue_runs(addr_bytes: np.ndarray, segment_bytes: int, active: np.ndarray | None = None) -> np.ndarray:
+    """Lane-order same-segment runs per warp row (order-sensitive)."""
+    addr_bytes = _as_warp_matrix(addr_bytes)
+    seg = addr_bytes // segment_bytes
+    if active is None:
+        boundary = np.empty(seg.shape, dtype=bool)
+        boundary[:, 0] = True
+        boundary[:, 1:] = seg[:, 1:] != seg[:, :-1]
+        return boundary.sum(axis=1)
+    active = np.asarray(active, dtype=bool)
+    if active.shape != seg.shape:
+        raise MemoryAuditError(f"active mask shape {active.shape} != access shape {seg.shape}")
+    # Forward-fill each row's segment over inactive lanes so that a run is
+    # only broken by an *active* lane with a different segment.
+    pos = np.where(active, np.arange(WARP_WIDTH), -1)
+    last = np.maximum.accumulate(pos, axis=1)
+    seg_ff = np.take_along_axis(seg, np.clip(last, 0, None), axis=1)
+    prev_ff = np.empty_like(seg_ff)
+    prev_ff[:, 0] = -1
+    prev_ff[:, 1:] = seg_ff[:, :-1]
+    has_prev = np.empty(active.shape, dtype=bool)
+    has_prev[:, 0] = False
+    has_prev[:, 1:] = last[:, :-1] >= 0
+    boundary = active & (~has_prev | (seg != prev_ff))
+    return boundary.sum(axis=1)
+
+
+class GlobalMemoryAuditor:
+    """Accumulates global-memory traffic for one emulated kernel."""
+
+    def __init__(self, counters: KernelCounters, spec: DeviceSpec):
+        self.counters = counters
+        self.spec = spec
+
+    # -- streaming (perfectly coalesced) helpers --------------------------
+
+    def read_streaming(self, num_elements: int, itemsize: int) -> None:
+        """Audit a perfectly coalesced read of ``num_elements`` items."""
+        self._stream(num_elements, itemsize, write=False)
+
+    def write_streaming(self, num_elements: int, itemsize: int) -> None:
+        """Audit a perfectly coalesced write of ``num_elements`` items."""
+        self._stream(num_elements, itemsize, write=True)
+
+    def _stream(self, num_elements: int, itemsize: int, write: bool) -> None:
+        if num_elements < 0 or itemsize <= 0:
+            raise MemoryAuditError(f"bad streaming access: n={num_elements}, itemsize={itemsize}")
+        bytes_total = int(num_elements) * int(itemsize)
+        sectors = -(-bytes_total // self.spec.sector_bytes)
+        warps = -(-int(num_elements) // WARP_WIDTH)
+        c = self.counters
+        if write:
+            c.global_write_bytes_useful += bytes_total
+            c.global_write_sectors += sectors
+        else:
+            c.global_read_bytes_useful += bytes_total
+            c.global_read_sectors += sectors
+        c.global_issue_runs += warps * max(1, (itemsize * WARP_WIDTH) // self.spec.segment_bytes)
+
+    # -- audited warp-wide gather/scatter ----------------------------------
+
+    def read_warp(self, element_indices: np.ndarray, itemsize: int, active: np.ndarray | None = None) -> None:
+        """Audit a warp-wide gather at the given element indices."""
+        self._warp_access(element_indices, itemsize, active, write=False)
+
+    def write_warp(self, element_indices: np.ndarray, itemsize: int, active: np.ndarray | None = None) -> None:
+        """Audit a warp-wide scatter at the given element indices."""
+        self._warp_access(element_indices, itemsize, active, write=True)
+
+    def _warp_access(self, element_indices, itemsize: int, active, write: bool) -> None:
+        idx = _as_warp_matrix(element_indices)
+        addr = idx * int(itemsize)
+        if active is not None:
+            active = np.asarray(active, dtype=bool)
+            if active.shape != idx.shape:
+                raise MemoryAuditError(
+                    f"active mask shape {active.shape} != access shape {idx.shape}"
+                )
+            useful = int(active.sum()) * itemsize
+        else:
+            useful = idx.size * itemsize
+        sectors = int(warp_sector_count(addr, self.spec.sector_bytes, active).sum())
+        runs = int(warp_issue_runs(addr, self.spec.segment_bytes, active).sum())
+        c = self.counters
+        if write:
+            c.global_write_bytes_useful += useful
+            c.global_write_sectors += sectors
+        else:
+            c.global_read_bytes_useful += useful
+            c.global_read_sectors += sectors
+        c.global_issue_runs += runs
+
+    def atomic(self, count: int) -> None:
+        """Audit ``count`` global atomic operations."""
+        self.counters.atomic_ops += int(count)
+
+
+class SharedMemoryModel:
+    """48 kB, 32-bank shared memory: conflict-aware access counting."""
+
+    NUM_BANKS = 32
+
+    def __init__(self, counters: KernelCounters, spec: DeviceSpec):
+        self.counters = counters
+        self.spec = spec
+
+    def alloc(self, bytes_per_block: int) -> None:
+        """Record a static per-block shared allocation (occupancy model)."""
+        if bytes_per_block < 0:
+            raise MemoryAuditError(f"negative shared allocation: {bytes_per_block}")
+        self.counters.shared_bytes_per_block = max(
+            self.counters.shared_bytes_per_block, int(bytes_per_block)
+        )
+
+    def access_coalesced(self, num_warp_accesses: int) -> None:
+        """Audit conflict-free warp-wide shared accesses."""
+        self.counters.shared_accesses += int(num_warp_accesses)
+
+    def access(self, word_addresses: np.ndarray, active: np.ndarray | None = None) -> None:
+        """Audit warp-wide shared accesses with bank-conflict replays.
+
+        ``word_addresses`` is ``(num_accesses, 32)`` of 4-byte word
+        addresses; cost per row is the multiplicity of the hottest bank.
+        """
+        addr = _as_warp_matrix(word_addresses)
+        banks = addr % self.NUM_BANKS
+        if active is not None:
+            active = np.asarray(active, dtype=bool)
+            if active.shape != banks.shape:
+                raise MemoryAuditError(
+                    f"active mask shape {active.shape} != access shape {banks.shape}"
+                )
+            banks = np.where(active, banks, np.int64(-1))
+        s = np.sort(banks, axis=1)
+        # Longest run of equal values per sorted row = hottest bank multiplicity.
+        start = np.empty(s.shape, dtype=bool)
+        start[:, 0] = True
+        start[:, 1:] = s[:, 1:] != s[:, :-1]
+        pos = np.arange(s.shape[1])
+        run_start = np.maximum.accumulate(np.where(start, pos, -1), axis=1)
+        run_len = pos - run_start + 1
+        if active is not None:
+            run_len = np.where(s >= 0, run_len, 0)
+        replays = run_len.max(axis=1)
+        self.counters.shared_accesses += int(np.maximum(replays, 1).sum())

@@ -1,0 +1,164 @@
+"""Scalar reference interpreter for warp-synchronous programs.
+
+A deliberately slow, lane-by-lane implementation of the CUDA warp
+intrinsics, used to differentially test the vectorized
+:class:`~repro.simt.warp.WarpGang` and the warp-level algorithms built
+on it. One :class:`ScalarWarp` models exactly one 32-lane warp; every
+operation loops over lanes in Python, mirroring the PTX semantics as
+literally as possible.
+
+This module is test infrastructure: it performs no counter accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["ScalarWarp", "scalar_warp_histogram", "scalar_warp_offsets"]
+
+WARP_WIDTH = 32
+_MASK32 = 0xFFFFFFFF
+
+
+class ScalarWarp:
+    """One 32-lane warp with scalar (lane-by-lane) intrinsic semantics."""
+
+    def __init__(self):
+        self.lanes = list(range(WARP_WIDTH))
+
+    @staticmethod
+    def _check(values: Sequence[int]) -> list[int]:
+        values = list(values)
+        if len(values) != WARP_WIDTH:
+            raise ValueError(f"expected {WARP_WIDTH} lane values, got {len(values)}")
+        return values
+
+    def ballot(self, predicate: Sequence[int]) -> int:
+        """Bitmap of lanes with a truthy predicate."""
+        predicate = self._check(predicate)
+        out = 0
+        for lane, p in enumerate(predicate):
+            if p:
+                out |= 1 << lane
+        return out
+
+    def all_sync(self, predicate: Sequence[int]) -> bool:
+        return self.ballot(predicate) == _MASK32
+
+    def any_sync(self, predicate: Sequence[int]) -> bool:
+        return self.ballot(predicate) != 0
+
+    def shfl(self, values: Sequence[int], src_lane) -> list[int]:
+        """Each lane reads ``values[src]``; scalar or per-lane sources."""
+        values = self._check(values)
+        if isinstance(src_lane, int):
+            sources = [src_lane] * WARP_WIDTH
+        else:
+            sources = self._check(src_lane)
+        return [values[s % WARP_WIDTH] for s in sources]
+
+    def shfl_up(self, values: Sequence[int], delta: int) -> list[int]:
+        values = self._check(values)
+        if not 0 <= delta < WARP_WIDTH:
+            raise ValueError(f"delta out of range: {delta}")
+        return [values[i - delta] if i >= delta else values[i]
+                for i in range(WARP_WIDTH)]
+
+    def shfl_down(self, values: Sequence[int], delta: int) -> list[int]:
+        values = self._check(values)
+        if not 0 <= delta < WARP_WIDTH:
+            raise ValueError(f"delta out of range: {delta}")
+        return [values[i + delta] if i + delta < WARP_WIDTH else values[i]
+                for i in range(WARP_WIDTH)]
+
+    def shfl_xor(self, values: Sequence[int], mask: int) -> list[int]:
+        values = self._check(values)
+        if not 0 <= mask < WARP_WIDTH:
+            raise ValueError(f"mask out of range: {mask}")
+        return [values[i ^ mask] for i in range(WARP_WIDTH)]
+
+    @staticmethod
+    def popc(value: int) -> int:
+        return int(value).bit_count()
+
+    def exclusive_scan(self, values: Sequence[int]) -> list[int]:
+        values = self._check(values)
+        out, acc = [], 0
+        for v in values:
+            out.append(acc)
+            acc += v
+        return out
+
+    def reduce_sum(self, values: Sequence[int]) -> int:
+        return sum(self._check(values))
+
+
+def scalar_warp_histogram(bucket_ids: Sequence[int], m: int,
+                          valid: Sequence[bool] | None = None) -> list[int]:
+    """Paper Algorithm 2, executed literally, lane by lane.
+
+    Returns the ``m`` bucket counts computed from each thread's bitmap;
+    thread *i* (plus *i+32*, ...) is responsible for bucket *i*.
+    """
+    warp = ScalarWarp()
+    bucket_ids = list(bucket_ids)
+    if len(bucket_ids) != WARP_WIDTH:
+        raise ValueError("need one bucket id per lane")
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    rounds = max(1, (m - 1).bit_length()) if m > 1 else 0
+    groups = -(-m // WARP_WIDTH)
+    init = warp.ballot([True] * WARP_WIDTH if valid is None else list(valid))
+    # per lane, per group: the candidate bitmap (Alg 2 line 3)
+    histo_bmp = [[init] * groups for _ in range(WARP_WIDTH)]
+    bid = list(bucket_ids)
+    for k in range(rounds):
+        vote = warp.ballot([b & 1 for b in bid])          # Alg 2 line 5
+        for lane in range(WARP_WIDTH):
+            for g in range(groups):
+                assigned = lane + 32 * g
+                if (assigned >> k) & 1:                    # Alg 2 line 6
+                    histo_bmp[lane][g] &= vote
+                else:
+                    histo_bmp[lane][g] &= vote ^ _MASK32   # Alg 2 line 9
+        bid = [b >> 1 for b in bid]                        # Alg 2 line 11
+    counts = [0] * m
+    for lane in range(WARP_WIDTH):
+        for g in range(groups):
+            bucket = lane + 32 * g
+            if bucket < m:
+                counts[bucket] = ScalarWarp.popc(histo_bmp[lane][g])
+    return counts
+
+
+def scalar_warp_offsets(bucket_ids: Sequence[int], m: int,
+                        valid: Sequence[bool] | None = None) -> list[int]:
+    """Paper Algorithm 3, lane by lane, with the exclusive-rank fix.
+
+    Thread *i*'s offset is the number of *preceding* lanes holding the
+    same bucket (the paper's line 13 mask includes the own lane; see
+    repro.multisplit.warp_ops for the discussion).
+    """
+    warp = ScalarWarp()
+    bucket_ids = list(bucket_ids)
+    if len(bucket_ids) != WARP_WIDTH:
+        raise ValueError("need one bucket id per lane")
+    rounds = max(1, (m - 1).bit_length()) if m > 1 else 0
+    init = warp.ballot([True] * WARP_WIDTH if valid is None else list(valid))
+    offset_bmp = [init] * WARP_WIDTH
+    bid = list(bucket_ids)
+    for k in range(rounds):
+        vote = warp.ballot([b & 1 for b in bid])          # Alg 3 line 5
+        for lane in range(WARP_WIDTH):
+            if bid[lane] & 1:                              # Alg 3 line 6
+                offset_bmp[lane] &= vote
+            else:
+                offset_bmp[lane] &= vote ^ _MASK32
+        bid = [b >> 1 for b in bid]
+    out = []
+    for lane in range(WARP_WIDTH):
+        lanemask_lt = (1 << lane) - 1
+        out.append(ScalarWarp.popc(offset_bmp[lane] & lanemask_lt))
+    if valid is not None:
+        out = [o if v else 0 for o, v in zip(out, valid)]
+    return out

@@ -1,0 +1,58 @@
+"""ASCII trace rendering of emulated timelines.
+
+A text-mode Gantt chart: one row per kernel, bar length proportional to
+simulated time, with stage grouping — a quick visual of where a
+multisplit run spends its milliseconds.
+"""
+
+from __future__ import annotations
+
+from .device import Timeline
+
+__all__ = ["ascii_gantt", "stage_bars"]
+
+_FULL = "█"
+_PART = " ▏▎▍▌▋▊▉"
+
+
+def _bar(fraction: float, width: int) -> str:
+    """A unicode bar filling ``fraction`` of ``width`` character cells."""
+    cells = max(0.0, min(1.0, fraction)) * width
+    full = int(cells)
+    rem = int((cells - full) * 8)
+    bar = _FULL * full
+    if rem and full < width:
+        bar += _PART[rem]
+    return bar.ljust(width)
+
+
+def ascii_gantt(timeline: Timeline, *, width: int = 48,
+                title: str = "kernel timeline") -> str:
+    """One bar per kernel, scaled to the longest kernel."""
+    if not timeline.records:
+        return f"{title}\n(empty timeline)"
+    longest = max(r.total_ms for r in timeline.records)
+    name_w = max(len(r.name) for r in timeline.records)
+    lines = [f"{title}  (bar = {longest:.4f} ms)"]
+    for r in timeline.records:
+        frac = r.total_ms / longest if longest > 0 else 0.0
+        lines.append(f"{r.name.ljust(name_w)} |{_bar(frac, width)}| "
+                     f"{r.total_ms:.4f}")
+    lines.append(f"{'TOTAL'.ljust(name_w)}  {timeline.total_ms:.4f} ms")
+    return "\n".join(lines)
+
+
+def stage_bars(timeline: Timeline, *, width: int = 48,
+               title: str = "stage breakdown") -> str:
+    """One bar per stage, scaled to the total (shares sum to 100%)."""
+    stages = timeline.stages()
+    if not stages:
+        return f"{title}\n(empty timeline)"
+    total = timeline.total_ms
+    name_w = max(len(s) for s in stages)
+    lines = [title]
+    for stage, ms in stages.items():
+        frac = ms / total if total > 0 else 0.0
+        lines.append(f"{stage.ljust(name_w)} |{_bar(frac, width)}| "
+                     f"{ms:.4f} ms ({frac:.1%})")
+    return "\n".join(lines)

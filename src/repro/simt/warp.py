@@ -1,0 +1,203 @@
+"""Vectorized warp-synchronous execution: the :class:`WarpGang`.
+
+A *gang* models ``W`` warps of 32 lanes executing the same
+warp-synchronous program in lockstep. Per-lane registers are numpy
+arrays of shape ``(W, 32)``; warp-wide intrinsics (``ballot``, ``shfl``,
+``popc``, …) are bit-exact vectorized implementations of their CUDA
+counterparts, evaluated for all warps at once. This is what lets us run
+the paper's Algorithms 2 and 3 unchanged at 2^25-key scale from Python.
+
+Every intrinsic charges warp-instruction issues to the attached
+:class:`~repro.simt.counters.KernelCounters`, so the cost model sees the
+exact instruction mix the real kernel would execute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bits import popcount32, FULL_MASK
+from .counters import KernelCounters
+from .errors import IntrinsicError
+
+__all__ = ["WarpGang", "WARP_WIDTH"]
+
+WARP_WIDTH = 32
+
+_LANES = np.arange(WARP_WIDTH)
+_LANE_BITS_U32 = (np.uint32(1) << _LANES.astype(np.uint32)).astype(np.uint32)
+
+
+class WarpGang:
+    """``num_warps`` warps executing one warp-synchronous program.
+
+    Parameters
+    ----------
+    num_warps:
+        Number of warps in the gang (>= 1).
+    counters:
+        Optional counter sink; when ``None`` a throwaway one is used.
+    """
+
+    def __init__(self, num_warps: int, counters: KernelCounters | None = None):
+        if num_warps < 1:
+            raise IntrinsicError(f"num_warps must be >= 1, got {num_warps}")
+        self.num_warps = int(num_warps)
+        self.counters = counters if counters is not None else KernelCounters()
+        self.lane = np.broadcast_to(_LANES, (self.num_warps, WARP_WIDTH))
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def charge(self, instructions: int = 1) -> None:
+        """Charge ``instructions`` warp-wide issues to every warp.
+
+        Used for plain per-lane ALU work that is not expressed through a
+        counted intrinsic (address arithmetic, comparisons, …).
+        """
+        self.counters.warp_instructions += int(instructions) * self.num_warps
+
+    def _check(self, value: np.ndarray) -> np.ndarray:
+        value = np.asarray(value)
+        if value.shape != (self.num_warps, WARP_WIDTH):
+            raise IntrinsicError(
+                f"expected register shape {(self.num_warps, WARP_WIDTH)}, got {value.shape}"
+            )
+        return value
+
+    # -- voting -----------------------------------------------------------
+
+    def ballot(self, predicate: np.ndarray) -> np.ndarray:
+        """CUDA ``__ballot``: per-warp 32-bit bitmap of non-zero predicates.
+
+        Returns shape ``(num_warps,)`` uint32; bit *j* is lane *j*'s vote.
+        """
+        predicate = self._check(predicate)
+        bits = np.where(predicate != 0, _LANE_BITS_U32, np.uint32(0))
+        self.charge(1)
+        return np.bitwise_or.reduce(bits, axis=1).astype(np.uint32)
+
+    def all_sync(self, predicate: np.ndarray) -> np.ndarray:
+        """CUDA ``__all``: per-warp boolean, true iff every lane votes true."""
+        return self.ballot(predicate) == FULL_MASK
+
+    def any_sync(self, predicate: np.ndarray) -> np.ndarray:
+        """CUDA ``__any``: per-warp boolean, true iff any lane votes true."""
+        return self.ballot(predicate) != 0
+
+    # -- shuffles ----------------------------------------------------------
+
+    def shfl(self, value: np.ndarray, src_lane) -> np.ndarray:
+        """CUDA ``__shfl``: every lane reads ``value`` from ``src_lane``.
+
+        ``src_lane`` may be a scalar (broadcast), a ``(num_warps,)`` array
+        (per-warp source), or a full ``(num_warps, 32)`` per-lane source.
+        Sources are taken modulo the warp width, as the hardware does.
+        """
+        value = self._check(value)
+        src = np.asarray(src_lane)
+        if src.ndim == 0:
+            idx = np.broadcast_to(src.reshape(1, 1), value.shape)
+        elif src.shape == (self.num_warps,):
+            idx = np.broadcast_to(src[:, None], value.shape)
+        elif src.shape == value.shape:
+            idx = src
+        else:
+            raise IntrinsicError(f"bad shfl source shape {src.shape}")
+        idx = (idx.astype(np.int64)) % WARP_WIDTH
+        self.charge(1)
+        return np.take_along_axis(value, idx, axis=1)
+
+    def shfl_up(self, value: np.ndarray, delta: int) -> np.ndarray:
+        """CUDA ``__shfl_up``: lane *i* reads lane *i - delta*.
+
+        Lanes with ``i < delta`` keep their own value (hardware behavior).
+        """
+        value = self._check(value)
+        if not 0 <= delta < WARP_WIDTH:
+            raise IntrinsicError(f"shfl_up delta out of range: {delta}")
+        out = value.copy()
+        if delta:
+            out[:, delta:] = value[:, :-delta]
+        self.charge(1)
+        return out
+
+    def shfl_down(self, value: np.ndarray, delta: int) -> np.ndarray:
+        """CUDA ``__shfl_down``: lane *i* reads lane *i + delta*.
+
+        Lanes with ``i + delta >= 32`` keep their own value.
+        """
+        value = self._check(value)
+        if not 0 <= delta < WARP_WIDTH:
+            raise IntrinsicError(f"shfl_down delta out of range: {delta}")
+        out = value.copy()
+        if delta:
+            out[:, :-delta] = value[:, delta:]
+        self.charge(1)
+        return out
+
+    def shfl_xor(self, value: np.ndarray, mask: int) -> np.ndarray:
+        """CUDA ``__shfl_xor``: lane *i* reads lane ``i ^ mask``."""
+        value = self._check(value)
+        if not 0 <= mask < WARP_WIDTH:
+            raise IntrinsicError(f"shfl_xor mask out of range: {mask}")
+        partner = _LANES ^ mask
+        self.charge(1)
+        return value[:, partner]
+
+    def broadcast(self, value: np.ndarray, src_lane: int) -> np.ndarray:
+        """Broadcast one lane's register to the whole warp (``shfl`` w/ scalar)."""
+        return self.shfl(value, src_lane)
+
+    # -- integer intrinsics --------------------------------------------------
+
+    def popc(self, value: np.ndarray) -> np.ndarray:
+        """CUDA ``__popc`` on a per-lane 32-bit register."""
+        value = self._check(np.asarray(value, dtype=np.uint32))
+        self.charge(1)
+        return popcount32(value)
+
+    # -- derived warp-wide collectives ----------------------------------------
+
+    def exclusive_scan(self, value: np.ndarray) -> np.ndarray:
+        """Warp-wide exclusive prefix-sum via ``shfl_up`` (Hillis–Steele).
+
+        ``log2(32) = 5`` shuffle+add rounds, exactly as the paper's
+        warp-level scans do.
+        """
+        value = self._check(value)
+        inclusive = value.astype(np.int64)
+        delta = 1
+        while delta < WARP_WIDTH:
+            shifted = self.shfl_up(inclusive, delta)
+            add_mask = self.lane >= delta
+            inclusive = inclusive + np.where(add_mask, shifted, 0)
+            self.charge(1)  # the add
+            delta <<= 1
+        return inclusive - value
+
+    def inclusive_scan(self, value: np.ndarray) -> np.ndarray:
+        """Warp-wide inclusive prefix-sum via ``shfl_up``."""
+        value = self._check(value)
+        return self.exclusive_scan(value) + value
+
+    def reduce_sum(self, value: np.ndarray) -> np.ndarray:
+        """Warp-wide sum via ``shfl_xor`` butterfly; returns ``(num_warps,)``."""
+        value = self._check(value)
+        acc = value.astype(np.int64)
+        mask = WARP_WIDTH // 2
+        while mask:
+            acc = acc + self.shfl_xor(acc, mask)
+            self.charge(1)
+            mask //= 2
+        return acc[:, 0]
+
+    def reduce_max(self, value: np.ndarray) -> np.ndarray:
+        """Warp-wide max via ``shfl_xor`` butterfly; returns ``(num_warps,)``."""
+        value = self._check(value)
+        acc = value.copy()
+        mask = WARP_WIDTH // 2
+        while mask:
+            acc = np.maximum(acc, self.shfl_xor(acc, mask))
+            self.charge(1)
+            mask //= 2
+        return acc[:, 0]

@@ -1,0 +1,8 @@
+"""Sorting substrate: the radix-sort baseline the paper compares against."""
+
+from .radix import radix_sort, RADIX_TILE, DEFAULT_DIGIT_BITS
+from .msb_radix import msb_radix_sort
+from .reference import stable_sort_pairs
+
+__all__ = ["radix_sort", "msb_radix_sort", "RADIX_TILE", "DEFAULT_DIGIT_BITS",
+           "stable_sort_pairs"]

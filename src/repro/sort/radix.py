@@ -1,0 +1,132 @@
+"""LSB radix sort on the SIMT substrate (the paper's CUB-like baseline).
+
+Each pass processes ``digit_bits`` bits with the classic three-kernel
+structure CUB used on Kepler:
+
+1. *upsweep* — per-tile digit histograms,
+2. a device-wide exclusive scan over the row-vectorized ``R x T``
+   histogram matrix,
+3. *downsweep* — per-tile ranking (``digit_bits`` rounds of
+   warp-synchronous 1-bit splits in shared memory), tile-local reorder,
+   and a scatter whose per-warp addresses are ascending runs of
+   ``~tile/R`` elements.
+
+The scatter is audited with the *actual* destination addresses, so key
+distribution effects (Figure 5) emerge naturally: skewed digits produce
+longer runs and cheaper passes.
+
+Calibration constants (`RANK_WINST_PER_BIT`, `SMEM_TRIPS`) were fit to
+the paper's Table 3 radix-sort anchors and frozen; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.primitives.scan import device_exclusive_scan
+from repro.simt.config import WARP_WIDTH
+from repro.simt.device import Device
+
+__all__ = ["radix_sort", "RADIX_TILE", "DEFAULT_DIGIT_BITS"]
+
+RADIX_TILE = 2048
+DEFAULT_DIGIT_BITS = 8
+# warp instructions per warp per ranking bit (ballot + popc + mask + scan step)
+RANK_WINST_PER_BIT = 18
+# shared-memory round trips per element per pass (stage keys, exchange ranks)
+SMEM_TRIPS = 3
+
+
+def radix_sort(device: Device, keys: np.ndarray, values: np.ndarray | None = None, *,
+               bits: int = 32, digit_bits: int = DEFAULT_DIGIT_BITS,
+               key_bytes: int = 4, value_bytes: int = 4,
+               stage: str = "sort"):
+    """Stable LSB radix sort of ``keys`` (and optionally ``values``).
+
+    Only the lowest ``bits`` bits of the keys participate — passing
+    ``bits=ceil(log2 m)`` is exactly the reduced-bit trick of Section 3.4.
+    Returns ``(sorted_keys, sorted_values)`` (``None`` values pass through).
+    """
+    keys = np.asarray(keys)
+    if keys.ndim != 1:
+        raise ValueError(f"keys must be 1-D, got shape {keys.shape}")
+    if values is not None and np.asarray(values).shape != keys.shape:
+        raise ValueError("values must match keys in shape")
+    if not 1 <= bits <= 64:
+        raise ValueError(f"bits must be in [1, 64], got {bits}")
+    if not 1 <= digit_bits <= 16:
+        raise ValueError(f"digit_bits must be in [1, 16], got {digit_bits}")
+
+    n = keys.size
+    cur_keys = keys.copy()
+    cur_vals = None if values is None else np.asarray(values).copy()
+    if n == 0:
+        return cur_keys, cur_vals
+
+    work = cur_keys.astype(np.uint64)
+    passes = -(-bits // digit_bits)
+    for p in range(passes):
+        shift = p * digit_bits
+        width = min(digit_bits, bits - shift)
+        radix = 1 << width
+        digits = ((work >> np.uint64(shift)) & np.uint64(radix - 1)).astype(np.int64)
+        order = _radix_pass(device, digits, n, width, radix, key_bytes,
+                            value_bytes if cur_vals is not None else 0,
+                            stage, p)
+        work = work[order]
+        cur_keys = cur_keys[order]
+        if cur_vals is not None:
+            cur_vals = cur_vals[order]
+    return cur_keys, cur_vals
+
+
+def _radix_pass(device: Device, digits: np.ndarray, n: int, width: int, radix: int,
+                key_bytes: int, value_bytes: int, stage: str, p: int) -> np.ndarray:
+    """One audited counting pass; returns the stable-by-digit permutation."""
+    tiles = -(-n // RADIX_TILE)
+    warps = -(-n // WARP_WIDTH)
+
+    # ---- upsweep: per-tile histograms ------------------------------------
+    with device.kernel(f"{stage}:radix_upsweep_p{p}", library=True) as k:
+        k.gmem.read_streaming(n, key_bytes)
+        k.counters.warp_instructions += warps * max(2, width)
+        k.smem.alloc(radix * 4)
+        k.gmem.write_streaming(tiles * radix, 4)
+
+    # ---- device scan over row-vectorized R x T histograms ----------------
+    pad = tiles * RADIX_TILE - n
+    dpad = np.concatenate([digits, np.full(pad, radix - 1, dtype=np.int64)]) if pad else digits
+    tile_digit = dpad.reshape(tiles, RADIX_TILE)
+    flat = (tile_digit + np.arange(tiles, dtype=np.int64)[:, None] * radix).ravel()[:n]
+    hist = np.bincount(flat, minlength=tiles * radix).reshape(tiles, radix)
+    device_exclusive_scan(device, hist.T.ravel(), stage=stage)
+
+    # the pass output is the global stable sort by digit
+    order = np.argsort(digits, kind="stable")
+    dest = np.empty(n, dtype=np.int64)
+    dest[order] = np.arange(n, dtype=np.int64)
+
+    # ---- downsweep: rank, tile reorder, audited scatter --------------------
+    with device.kernel(f"{stage}:radix_downsweep_p{p}", library=True) as k:
+        k.gmem.read_streaming(n, key_bytes)
+        if value_bytes:
+            k.gmem.read_streaming(n, value_bytes)
+        k.gmem.read_streaming(tiles * radix, 4)
+        k.counters.warp_instructions += warps * RANK_WINST_PER_BIT * max(1, width)
+        trips = SMEM_TRIPS * (2 if value_bytes else 1)
+        k.smem.access_coalesced(warps * trips)
+        k.smem.alloc(RADIX_TILE * (key_bytes + (value_bytes or 0)))
+
+        # thread order after the tile-local reorder: digit-sorted per tile
+        tile_order = np.argsort(tile_digit, axis=1, kind="stable")
+        dest_pad = np.concatenate([dest, np.full(pad, np.int64(-1))]) if pad else dest
+        addr = np.take_along_axis(dest_pad.reshape(tiles, RADIX_TILE), tile_order, axis=1)
+        active = addr >= 0
+        np.copyto(addr, 0, where=~active)
+        addr = addr.reshape(-1, WARP_WIDTH)
+        active = active.reshape(-1, WARP_WIDTH)
+        mask = None if not pad else active
+        k.gmem.write_warp(addr, key_bytes, mask)
+        if value_bytes:
+            k.gmem.write_warp(addr, value_bytes, mask)
+    return order

@@ -1,0 +1,13 @@
+"""Oracle sorting helpers for tests (no cost accounting)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["stable_sort_pairs"]
+
+
+def stable_sort_pairs(keys: np.ndarray, values: np.ndarray | None = None):
+    """Stable sort of keys (and values) via numpy, as a test oracle."""
+    order = np.argsort(keys, kind="stable")
+    return keys[order], (values[order] if values is not None else None)

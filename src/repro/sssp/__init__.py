@@ -1,0 +1,12 @@
+"""Delta-stepping SSSP: the paper's motivating multisplit application."""
+
+from .graph import Graph
+from .generators import gnm_random, rmat, social_like, gbf_like, grid2d, FAMILIES
+from .dijkstra import dijkstra
+from .bellman_ford import bellman_ford
+from .delta_stepping import delta_stepping, suggest_delta, BUCKETINGS
+
+__all__ = [
+    "Graph", "gnm_random", "rmat", "social_like", "gbf_like", "grid2d", "FAMILIES",
+    "dijkstra", "bellman_ford", "delta_stepping", "suggest_delta", "BUCKETINGS",
+]

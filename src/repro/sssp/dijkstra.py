@@ -1,0 +1,34 @@
+"""Serial Dijkstra (the work-efficient oracle; paper Section 1)."""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["dijkstra"]
+
+
+def dijkstra(g: Graph, source: int) -> np.ndarray:
+    """Exact shortest-path distances from ``source`` (inf if unreachable)."""
+    n = g.num_vertices
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range [0, {n})")
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    heap = [(0.0, source)]
+    done = np.zeros(n, dtype=bool)
+    while heap:
+        d, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        for e in range(g.row_ptr[u], g.row_ptr[u + 1]):
+            v = int(g.col_idx[e])
+            nd = d + g.weights[e]
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist

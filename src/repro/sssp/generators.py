@@ -1,0 +1,124 @@
+"""Synthetic graph families standing in for the paper's SSSP datasets.
+
+Footnote 1 evaluates four graphs: flickr (social), yahoo-social, an
+RMAT graph, and a "sparse low-diameter synthetic graph ... similar to
+the GBF(n, r) class defined by Meyer". We generate laptop-scale graphs
+of the same families:
+
+* :func:`rmat` — Graph500-style recursive-matrix power-law graph,
+* :func:`gnm_random` — Erdős–Rényi G(n, m),
+* :func:`social_like` — power-law degrees with local clustering bias
+  (flickr/yahoo stand-in),
+* :func:`gbf_like` — sparse low-diameter graph: ring backbone plus
+  random long-range shortcuts with small weights,
+* :func:`grid2d` — a mesh, as a high-diameter contrast case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["gnm_random", "rmat", "social_like", "gbf_like", "grid2d", "FAMILIES"]
+
+
+def _weights(rng: np.random.Generator, m: int, max_weight: float) -> np.ndarray:
+    return rng.uniform(1.0, max_weight, size=m)
+
+
+def gnm_random(n: int, m: int, *, max_weight: float = 100.0, seed: int = 0) -> Graph:
+    """Uniform random directed graph with ``n`` vertices and ``m`` edges."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    return Graph.from_edges(n, src, dst, _weights(rng, m, max_weight))
+
+
+def rmat(scale: int, edge_factor: int = 16, *, a: float = 0.57, b: float = 0.19,
+         c: float = 0.19, max_weight: float = 100.0, seed: int = 0) -> Graph:
+    """RMAT power-law graph with ``2**scale`` vertices (Graph500 defaults)."""
+    if scale < 1 or scale > 24:
+        raise ValueError(f"scale must be in [1, 24], got {scale}")
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise ValueError("RMAT probabilities must sum to <= 1")
+    n = 1 << scale
+    m = n * edge_factor
+    rng = np.random.default_rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(m)
+        quad_b = (r >= a) & (r < a + b)
+        quad_c = (r >= a + b) & (r < a + b + c)
+        quad_d = r >= a + b + c
+        src |= ((quad_c | quad_d).astype(np.int64)) << bit
+        dst |= ((quad_b | quad_d).astype(np.int64)) << bit
+    return Graph.from_edges(n, src, dst, _weights(rng, m, max_weight))
+
+
+def social_like(n: int, avg_degree: int = 12, *, max_weight: float = 100.0,
+                seed: int = 0) -> Graph:
+    """Power-law out-degrees with preferential targets (social-network-ish)."""
+    rng = np.random.default_rng(seed)
+    # Zipf-ish degrees clipped to keep the graph sparse
+    deg = np.minimum(rng.zipf(2.0, size=n) * avg_degree // 3 + 1, n - 1).astype(np.int64)
+    target_budget = n * avg_degree
+    if deg.sum() > target_budget:
+        deg = np.maximum((deg * target_budget) // deg.sum(), 1)
+    m = int(deg.sum())
+    src = np.repeat(np.arange(n, dtype=np.int64), deg)
+    # preferential attachment: square a uniform to bias toward low ids (hubs)
+    dst = (rng.random(m) ** 2 * n).astype(np.int64)
+    return Graph.from_edges(n, src, dst, _weights(rng, m, max_weight))
+
+
+def gbf_like(n: int, shortcuts_per_vertex: float = 2.0, *, max_weight: float = 100.0,
+             seed: int = 0) -> Graph:
+    """Sparse low-diameter graph: ring backbone + long-range shortcuts.
+
+    Mirrors the character of Meyer's GBF(n, r) class used by the paper:
+    bounded degree, small diameter, weights spread enough that
+    delta-stepping's buckets matter.
+    """
+    rng = np.random.default_rng(seed)
+    ring_src = np.arange(n, dtype=np.int64)
+    ring_dst = (ring_src + 1) % n
+    ring_w = rng.uniform(1.0, max_weight / 10.0, size=n)  # cheap local edges
+    ns = int(n * shortcuts_per_vertex)
+    sc_src = rng.integers(0, n, size=ns)
+    sc_dst = rng.integers(0, n, size=ns)
+    sc_w = rng.uniform(1.0, max_weight, size=ns)
+    return Graph.from_edges(
+        n,
+        np.concatenate([ring_src, sc_src]),
+        np.concatenate([ring_dst, sc_dst]),
+        np.concatenate([ring_w, sc_w]),
+    )
+
+
+def grid2d(rows: int, cols: int, *, max_weight: float = 100.0, seed: int = 0) -> Graph:
+    """4-connected mesh (high diameter; stresses the bucket schedule)."""
+    rng = np.random.default_rng(seed)
+    n = rows * cols
+    idx = np.arange(n).reshape(rows, cols)
+    srcs, dsts = [], []
+    srcs.append(idx[:, :-1].ravel()); dsts.append(idx[:, 1:].ravel())
+    srcs.append(idx[:, 1:].ravel()); dsts.append(idx[:, :-1].ravel())
+    srcs.append(idx[:-1, :].ravel()); dsts.append(idx[1:, :].ravel())
+    srcs.append(idx[1:, :].ravel()); dsts.append(idx[:-1, :].ravel())
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    return Graph.from_edges(n, src, dst, _weights(rng, src.size, max_weight))
+
+
+#: the four footnote-1 stand-in families at a given scale
+FAMILIES = {
+    "rmat": lambda scale, seed: rmat(scale, 8, seed=seed),
+    "social": lambda scale, seed: social_like(1 << scale, 10, seed=seed),
+    "gbf": lambda scale, seed: gbf_like(1 << scale, 2.0, seed=seed),
+    "gnm": lambda scale, seed: gnm_random(1 << scale, (1 << scale) * 8, seed=seed),
+}

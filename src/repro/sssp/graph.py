@@ -1,0 +1,95 @@
+"""CSR graph representation for the SSSP application."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Directed weighted graph in compressed-sparse-row form.
+
+    ``row_ptr`` has ``num_vertices + 1`` entries; the out-edges of
+    vertex ``v`` are ``col_idx[row_ptr[v]:row_ptr[v+1]]`` with weights
+    ``weights[row_ptr[v]:row_ptr[v+1]]``.
+    """
+
+    def __init__(self, row_ptr: np.ndarray, col_idx: np.ndarray, weights: np.ndarray):
+        row_ptr = np.asarray(row_ptr, dtype=np.int64)
+        col_idx = np.asarray(col_idx, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if row_ptr.ndim != 1 or row_ptr.size < 1:
+            raise ValueError("row_ptr must be a non-empty 1-D array")
+        if row_ptr[0] != 0 or (np.diff(row_ptr) < 0).any():
+            raise ValueError("row_ptr must start at 0 and be non-decreasing")
+        if col_idx.shape != weights.shape or col_idx.ndim != 1:
+            raise ValueError("col_idx and weights must be matching 1-D arrays")
+        if row_ptr[-1] != col_idx.size:
+            raise ValueError(
+                f"row_ptr[-1]={row_ptr[-1]} must equal the edge count {col_idx.size}"
+            )
+        n = row_ptr.size - 1
+        if col_idx.size and (col_idx.min() < 0 or col_idx.max() >= n):
+            raise ValueError("col_idx out of range")
+        if weights.size and weights.min() < 0:
+            raise ValueError("SSSP requires non-negative weights")
+        self.row_ptr = row_ptr
+        self.col_idx = col_idx
+        self.weights = weights
+        # per-edge source vertex, for vectorized frontier expansion
+        self._edge_src = np.repeat(np.arange(n, dtype=np.int64), np.diff(row_ptr))
+
+    @classmethod
+    def from_edges(cls, num_vertices: int, src: np.ndarray, dst: np.ndarray,
+                   weights: np.ndarray) -> "Graph":
+        """Build a CSR graph from an edge list (parallel edges kept)."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if not (src.shape == dst.shape == weights.shape) or src.ndim != 1:
+            raise ValueError("src, dst, weights must be matching 1-D arrays")
+        if src.size and (src.min() < 0 or src.max() >= num_vertices
+                         or dst.min() < 0 or dst.max() >= num_vertices):
+            raise ValueError("edge endpoint out of range")
+        order = np.argsort(src, kind="stable")
+        counts = np.bincount(src, minlength=num_vertices)
+        row_ptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=row_ptr[1:])
+        return cls(row_ptr, dst[order], weights[order])
+
+    @property
+    def num_vertices(self) -> int:
+        return self.row_ptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        return self.col_idx.size
+
+    def out_degree(self, v: int | None = None):
+        """Out-degree of one vertex, or the full degree array."""
+        if v is None:
+            return np.diff(self.row_ptr)
+        return int(self.row_ptr[v + 1] - self.row_ptr[v])
+
+    def edges_of(self, vertices: np.ndarray):
+        """All out-edges of the given frontier, vectorized.
+
+        Returns ``(sources, targets, weights)`` flattened across the
+        frontier's adjacency lists.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        starts = self.row_ptr[vertices]
+        ends = self.row_ptr[vertices + 1]
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, np.zeros(0)
+        # expand [start, end) ranges without a Python loop
+        offs = np.repeat(ends - counts.cumsum(), counts) + np.arange(total)
+        srcs = np.repeat(vertices, counts)
+        return srcs, self.col_idx[offs], self.weights[offs]
+
+    def __repr__(self) -> str:
+        return f"Graph(V={self.num_vertices}, E={self.num_edges})"

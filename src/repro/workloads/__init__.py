@@ -1,0 +1,16 @@
+"""Workload generators reproducing the paper's evaluation inputs."""
+
+from .distributions import (
+    uniform_keys,
+    binomial_keys,
+    spike_keys,
+    identity_keys,
+    random_values,
+    DISTRIBUTIONS,
+)
+from .keygen import Workload, make_workload
+
+__all__ = [
+    "uniform_keys", "binomial_keys", "spike_keys", "identity_keys",
+    "random_values", "DISTRIBUTIONS", "Workload", "make_workload",
+]

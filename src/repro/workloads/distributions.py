@@ -1,0 +1,99 @@
+"""Key distributions used in the paper's evaluation (Section 6).
+
+All generators produce 32-bit keys for :class:`RangeBuckets(m)` — the
+paper's workload, where "buckets are defined to equally divide the
+32-bit domain":
+
+* :func:`uniform_keys` — uniform over the full domain, hence uniform
+  over buckets (the paper's default and worst case for its methods).
+* :func:`binomial_keys` — bucket drawn from ``Binomial(m-1, p)``, key
+  uniform within that bucket's range (Figure 5's unbalanced case).
+* :func:`spike_keys` — ``frac_uniform`` of the keys uniform over all
+  buckets, the rest inside a single bucket (Figure 5's "milder"
+  distribution).
+* :func:`identity_keys` — keys drawn from ``{0..m-1}`` for the trivial
+  identity-bucket comparison rows of Table 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform_keys",
+    "binomial_keys",
+    "spike_keys",
+    "identity_keys",
+    "random_values",
+    "DISTRIBUTIONS",
+]
+
+_DOMAIN = 2**32
+
+
+def _bucket_bounds(m: int) -> np.ndarray:
+    edges = (np.arange(m + 1, dtype=np.uint64) * np.uint64(_DOMAIN)) // np.uint64(m)
+    return edges
+
+
+def uniform_keys(n: int, m: int = 2, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Uniform 32-bit keys (uniform over the ``m`` equal range buckets)."""
+    rng = rng or np.random.default_rng()
+    return rng.integers(0, _DOMAIN, size=n, dtype=np.uint32)
+
+
+def binomial_keys(n: int, m: int, p: float = 0.5,
+                  rng: np.random.Generator | None = None) -> np.ndarray:
+    """Bucket ~ Binomial(m-1, p); key uniform inside the bucket's range."""
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = rng or np.random.default_rng()
+    buckets = rng.binomial(m - 1, p, size=n).astype(np.uint64)
+    return _keys_in_buckets(buckets, m, rng)
+
+
+def spike_keys(n: int, m: int, frac_uniform: float = 0.25, spike_bucket: int | None = None,
+               rng: np.random.Generator | None = None) -> np.ndarray:
+    """``frac_uniform`` of keys uniform over buckets; the rest in one bucket."""
+    if not 0.0 <= frac_uniform <= 1.0:
+        raise ValueError(f"frac_uniform must be in [0, 1], got {frac_uniform}")
+    rng = rng or np.random.default_rng()
+    if spike_bucket is None:
+        spike_bucket = m // 2
+    if not 0 <= spike_bucket < m:
+        raise ValueError(f"spike_bucket {spike_bucket} out of range [0, {m})")
+    uniform_mask = rng.random(n) < frac_uniform
+    buckets = np.full(n, spike_bucket, dtype=np.uint64)
+    buckets[uniform_mask] = rng.integers(0, m, size=int(uniform_mask.sum()), dtype=np.uint64)
+    return _keys_in_buckets(buckets, m, rng)
+
+
+def identity_keys(n: int, m: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Keys drawn uniformly from ``{0, ..., m-1}`` (identity buckets)."""
+    rng = rng or np.random.default_rng()
+    return rng.integers(0, m, size=n, dtype=np.uint32)
+
+
+def random_values(n: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """32-bit payload values."""
+    rng = rng or np.random.default_rng()
+    return rng.integers(0, _DOMAIN, size=n, dtype=np.uint32)
+
+
+def _keys_in_buckets(buckets: np.ndarray, m: int, rng: np.random.Generator) -> np.ndarray:
+    edges = _bucket_bounds(m)
+    lo = edges[buckets]
+    hi = edges[buckets + 1]
+    span = (hi - lo).astype(np.uint64)
+    offs = (rng.integers(0, 1 << 62, size=buckets.size).astype(np.uint64) % span)
+    return (lo + offs).astype(np.uint32)
+
+
+#: name -> generator(n, m, rng), for benches sweeping distributions
+DISTRIBUTIONS = {
+    "uniform": lambda n, m, rng: uniform_keys(n, m, rng),
+    "binomial": lambda n, m, rng: binomial_keys(n, m, 0.5, rng),
+    "spike25": lambda n, m, rng: spike_keys(n, m, 0.25, rng=rng),
+}

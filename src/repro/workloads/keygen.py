@@ -1,0 +1,55 @@
+"""Reproducible workload bundles for tests, examples, and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.multisplit.bucketing import BucketSpec, RangeBuckets, IdentityBuckets
+from .distributions import DISTRIBUTIONS, random_values
+
+__all__ = ["Workload", "make_workload"]
+
+
+@dataclass
+class Workload:
+    """A (keys, values, spec) bundle with provenance metadata."""
+
+    keys: np.ndarray
+    values: np.ndarray
+    spec: BucketSpec
+    distribution: str
+    seed: int
+
+    @property
+    def n(self) -> int:
+        return self.keys.size
+
+    @property
+    def m(self) -> int:
+        return self.spec.num_buckets
+
+
+def make_workload(n: int, m: int, distribution: str = "uniform", *,
+                  seed: int = 0) -> Workload:
+    """Create a reproducible workload.
+
+    ``distribution`` is one of ``uniform``, ``binomial``, ``spike25``
+    (range buckets over the 32-bit domain), or ``identity`` (keys in
+    ``[0, m)`` with identity buckets).
+    """
+    rng = np.random.default_rng(seed)
+    if distribution == "identity":
+        keys = rng.integers(0, m, size=n, dtype=np.uint32)
+        spec: BucketSpec = IdentityBuckets(m)
+    elif distribution in DISTRIBUTIONS:
+        keys = DISTRIBUTIONS[distribution](n, m, rng)
+        spec = RangeBuckets(m)
+    else:
+        raise ValueError(
+            f"unknown distribution {distribution!r}; "
+            f"choose from {sorted(DISTRIBUTIONS) + ['identity']}"
+        )
+    return Workload(keys=keys, values=random_values(n, rng), spec=spec,
+                    distribution=distribution, seed=seed)

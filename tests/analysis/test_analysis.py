@@ -1,0 +1,164 @@
+"""Tests for the analysis package: tables, locality, runner, reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    gmean,
+    render_table,
+    render_series,
+    scatter_stats,
+    figure2_layout,
+    speed_of_light_gkeys,
+    run_method,
+    run_radix_baseline,
+    default_emulate_n,
+    timeline_report,
+    timeline_csv,
+    N_PAPER,
+)
+from repro.analysis.paper_data import TABLE4, TABLE5, SPEED_OF_LIGHT
+from repro.simt import Device, K40C, GTX750TI
+from repro.workloads import uniform_keys
+from repro.multisplit import RangeBuckets, multisplit
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2], [333, 4]], title="t")
+        lines = out.split("\n")
+        assert lines[0] == "t"
+        assert len({len(line) for line in lines[1:]}) == 1  # aligned
+
+    def test_render_table_validates_columns(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_series(self):
+        s = render_series("x", [1, 2], [0.5, 1.25])
+        assert "1:0.5" in s and "2:1.25" in s
+        with pytest.raises(ValueError):
+            render_series("x", [1], [1.0, 2.0])
+
+    def test_gmean(self):
+        assert gmean([2, 8]) == pytest.approx(4.0)
+        assert gmean([5]) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            gmean([])
+        with pytest.raises(ValueError):
+            gmean([1.0, 0.0])
+
+
+class TestSpeedOfLight:
+    def test_paper_values(self):
+        assert speed_of_light_gkeys(K40C) == pytest.approx(SPEED_OF_LIGHT["key"])
+        assert speed_of_light_gkeys(K40C, key_value=True) == pytest.approx(
+            SPEED_OF_LIGHT["kv"])
+
+    def test_scales_with_bandwidth(self):
+        assert speed_of_light_gkeys(GTX750TI) == pytest.approx(86.4 / 12)
+
+
+class TestLocality:
+    def _ids(self, m=8, n=1 << 14):
+        return RangeBuckets(m)(uniform_keys(n, m, np.random.default_rng(0))).astype(np.int64)
+
+    def test_reordered_run_length(self):
+        ids = self._ids()
+        direct = scatter_stats(ids, 8, 32, reordered=False)
+        warp = scatter_stats(ids, 8, 32, reordered=True)
+        block = scatter_stats(ids, 8, 256, reordered=True)
+        assert direct.mean_run_length < warp.mean_run_length < block.mean_run_length
+        assert warp.mean_sectors_per_warp == pytest.approx(
+            direct.mean_sectors_per_warp, rel=0.01)
+
+    def test_figure2_layout_sorts_within_groups(self):
+        ids = self._ids(4, 512)
+        layout = figure2_layout(ids, 4, 32, reordered=True)
+        for w in range(16):
+            chunk = layout[w * 32:(w + 1) * 32]
+            assert (np.diff(chunk) >= 0).all()
+
+    def test_not_reordered_is_identity(self):
+        ids = self._ids(4, 256)
+        assert (figure2_layout(ids, 4, 32, reordered=False) == ids).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter_stats(np.zeros((2, 2)), 4, 32, reordered=True)
+        with pytest.raises(ValueError):
+            scatter_stats(np.zeros(64, dtype=np.int64), 4, 33, reordered=True)
+        with pytest.raises(ValueError):
+            scatter_stats(np.zeros(16, dtype=np.int64), 4, 32, reordered=True)
+
+
+class TestRunner:
+    def test_run_method_scales_to_paper_n(self):
+        p = run_method("warp", 4, n=1 << 16)
+        assert p.n == N_PAPER
+        assert p.method == "warp"
+        assert 0 < p.total_ms < 100
+        assert set(p.stages()) == {"prescan", "scan", "postscan"}
+
+    def test_gkeys_consistent(self):
+        p = run_method("direct", 2, n=1 << 16)
+        assert p.gkeys == pytest.approx(p.n / (p.total_ms * 1e-3) / 1e9)
+
+    def test_scaled_prediction_near_table4(self):
+        """Extrapolated small-n runs stay close to the calibration point."""
+        p = run_method("direct", 8, n=1 << 18)
+        assert p.total_ms == pytest.approx(TABLE4[("direct", "key")][8]["total"],
+                                           rel=0.25)
+
+    def test_identity_sort_guard(self):
+        with pytest.raises(ValueError):
+            run_method("identity_sort", 8, n=1 << 12, distribution="uniform")
+
+    def test_radix_baseline(self):
+        p = run_radix_baseline(n=1 << 16)
+        assert p.method == "radix_sort"
+        assert p.total_ms > 0
+
+    def test_default_emulate_n_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N", "65536")
+        assert default_emulate_n() == 65536
+        monkeypatch.setenv("REPRO_N", "10")
+        with pytest.raises(ValueError):
+            default_emulate_n()
+        monkeypatch.delenv("REPRO_N")
+        assert default_emulate_n(123456) == 123456
+
+
+class TestReport:
+    @pytest.fixture
+    def timeline(self):
+        dev = Device(K40C)
+        keys = uniform_keys(1 << 14, 4, np.random.default_rng(0))
+        multisplit(keys, RangeBuckets(4), method="warp", device=dev)
+        return dev.timeline
+
+    def test_report_contains_kernels_and_stages(self, timeline):
+        text = timeline_report(timeline)
+        assert "warp_histogram" in text
+        assert "TOTAL" in text
+        assert "100.0%" in text
+
+    def test_csv_round_trips_counts(self, timeline):
+        csv = timeline_csv(timeline)
+        lines = csv.strip().split("\n")
+        assert len(lines) == len(timeline.records) + 1
+        header = lines[0].split(",")
+        assert "total_ms" in header and "issue_runs" in header
+        total = sum(float(line.split(",")[2]) for line in lines[1:])
+        assert total == pytest.approx(timeline.total_ms, rel=1e-6)
+
+
+class TestScaleInvariance:
+    """Paper-scale numbers must not depend on the emulation size."""
+
+    @pytest.mark.parametrize("method,m", [("warp", 2), ("block", 32),
+                                          ("reduced_bit", 8)])
+    def test_extrapolation_stable(self, method, m):
+        small = run_method(method, m, n=1 << 17).total_ms
+        big = run_method(method, m, n=1 << 20).total_ms
+        assert big == pytest.approx(small, rel=0.01)

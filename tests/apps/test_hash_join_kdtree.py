@@ -1,0 +1,145 @@
+"""Tests for the partitioned hash join and shallow k-d tree apps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import hash_join, ShallowKdTree
+from repro.simt import Device, K40C
+
+
+def oracle_join(left, right):
+    pairs = []
+    index = {}
+    for j, k in enumerate(right):
+        index.setdefault(int(k), []).append(j)
+    for i, k in enumerate(left):
+        for j in index.get(int(k), []):
+            pairs.append((i, j))
+    pairs.sort(key=lambda p: (int(left[p[0]]), p[0], p[1]))
+    return pairs
+
+
+class TestHashJoin:
+    def test_basic(self):
+        left = np.array([1, 2, 3, 2], dtype=np.uint32)
+        right = np.array([2, 4, 1], dtype=np.uint32)
+        li, ri = hash_join(left, right)
+        got = sorted(zip(li.tolist(), ri.tolist()))
+        assert got == sorted([(0, 2), (1, 0), (3, 0)])
+
+    def test_duplicates_both_sides(self):
+        left = np.array([5, 5], dtype=np.uint32)
+        right = np.array([5, 5, 5], dtype=np.uint32)
+        li, ri = hash_join(left, right)
+        assert li.size == 6  # full cross product of equal keys
+
+    def test_no_matches(self):
+        li, ri = hash_join(np.array([1, 2], dtype=np.uint32),
+                           np.array([3, 4], dtype=np.uint32))
+        assert li.size == ri.size == 0
+
+    def test_empty_inputs(self):
+        li, ri = hash_join(np.zeros(0, dtype=np.uint32),
+                           np.array([1], dtype=np.uint32))
+        assert li.size == 0
+
+    @given(st.lists(st.integers(0, 50), max_size=200),
+           st.lists(st.integers(0, 50), max_size=200),
+           st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_oracle(self, left, right, radix_bits):
+        left = np.array(left, dtype=np.uint32)
+        right = np.array(right, dtype=np.uint32)
+        li, ri = hash_join(left, right, radix_bits=radix_bits)
+        got = set(zip(li.tolist(), ri.tolist()))
+        expected = set(oracle_join(left, right))
+        assert got == expected
+
+    def test_all_pairs_actually_match(self):
+        rng = np.random.default_rng(0)
+        left = rng.integers(0, 1000, 5000).astype(np.uint32)
+        right = rng.integers(0, 1000, 5000).astype(np.uint32)
+        li, ri = hash_join(left, right)
+        assert (left[li] == right[ri]).all()
+
+    def test_cost_accounted(self):
+        dev = Device(K40C)
+        rng = np.random.default_rng(1)
+        hash_join(rng.integers(0, 100, 2000).astype(np.uint32),
+                  rng.integers(0, 100, 2000).astype(np.uint32), device=dev)
+        stages = {r.stage for r in dev.timeline.records}
+        assert "join" in stages
+        assert dev.total_ms > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hash_join(np.zeros(4, dtype=np.uint32), np.zeros(4, dtype=np.uint32),
+                      radix_bits=0)
+        with pytest.raises(ValueError):
+            hash_join(np.zeros((2, 2), dtype=np.uint32), np.zeros(4, dtype=np.uint32))
+
+
+class TestShallowKdTree:
+    def test_leaves_partition_points(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((2000, 3))
+        tree = ShallowKdTree(pts, depth=4)
+        all_ids = np.concatenate([tree.leaf_points(i) for i in range(tree.num_leaves)])
+        assert np.sort(all_ids).tolist() == list(range(2000))
+
+    def test_leaf_cells_respect_splits(self):
+        rng = np.random.default_rng(1)
+        pts = rng.random((512, 2))
+        tree = ShallowKdTree(pts, depth=1)
+        ax = tree.split_axis[0][0]
+        pv = tree.split_pivot[0][0]
+        left = tree.leaf_points(0)
+        right = tree.leaf_points(1)
+        assert (pts[left][:, ax] <= pv).all()
+        assert (pts[right][:, ax] > pv).all()
+
+    @pytest.mark.parametrize("depth", [1, 3, 6])
+    def test_nearest_matches_bruteforce(self, depth):
+        rng = np.random.default_rng(depth)
+        pts = rng.random((800, 3))
+        tree = ShallowKdTree(pts, depth=depth)
+        for _ in range(25):
+            q = rng.random(3)
+            pid, dist = tree.nearest(q)
+            d2 = ((pts - q) ** 2).sum(axis=1)
+            assert d2[pid] == pytest.approx(d2.min())
+            assert dist == pytest.approx(np.sqrt(d2.min()))
+
+    def test_duplicate_points(self):
+        pts = np.tile(np.array([[0.5, 0.5]]), (100, 1))
+        tree = ShallowKdTree(pts, depth=2)
+        pid, dist = tree.nearest(np.array([0.5, 0.5]))
+        assert dist == pytest.approx(0.0)
+
+    def test_balanced_at_median(self):
+        rng = np.random.default_rng(2)
+        pts = rng.random((1024, 3))
+        tree = ShallowKdTree(pts, depth=3)
+        sizes = np.diff(tree.leaf_starts)
+        assert sizes.max() <= 1024 // 8 + 64  # near-balanced
+
+    def test_device_accounting(self):
+        rng = np.random.default_rng(3)
+        dev = Device(K40C)
+        ShallowKdTree(rng.random((2048, 3)), depth=3, device=dev)
+        # one multisplit per level -> at least 3 scan-stage kernels
+        assert sum(1 for r in dev.timeline.records if r.stage == "scan") >= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShallowKdTree(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            ShallowKdTree(np.zeros(5))
+        with pytest.raises(ValueError):
+            ShallowKdTree(np.zeros((10, 2)), depth=0)
+        tree = ShallowKdTree(np.random.default_rng(0).random((64, 2)), depth=2)
+        with pytest.raises(IndexError):
+            tree.leaf_points(99)
+        with pytest.raises(ValueError):
+            tree.nearest(np.zeros(3))

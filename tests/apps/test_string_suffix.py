@@ -1,0 +1,119 @@
+"""Tests for the string sort and suffix array applications."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import string_sort, suffix_array
+from repro.simt import Device, K40C
+
+
+class TestStringSort:
+    def test_basic(self):
+        strings = [b"banana", b"apple", b"cherry", b"apricot"]
+        order, stats = string_sort(strings)
+        assert [strings[i] for i in order] == sorted(strings)
+        assert stats["rounds"] >= 1
+
+    def test_common_prefixes_need_multiple_rounds(self):
+        strings = [b"prefix_aaaa", b"prefix_cccc", b"prefix_bbbb", b"zzz"]
+        order, stats = string_sort(strings)
+        assert [strings[i] for i in order] == sorted(strings)
+        assert stats["rounds"] >= 2
+        # the unique string is eliminated before the long-prefix ones
+        assert stats["eliminated"][0] >= 1
+
+    def test_duplicates_stable(self):
+        strings = [b"dup", b"aaa", b"dup", b"dup"]
+        order, _ = string_sort(strings)
+        assert order.tolist() == [1, 0, 2, 3]  # equal strings keep input order
+
+    def test_empty_and_varied_lengths(self):
+        strings = [b"", b"a", b"ab", b"abc", b"b", b""]
+        order, _ = string_sort(strings)
+        assert [strings[i] for i in order] == sorted(strings)
+
+    def test_empty_list(self):
+        order, stats = string_sort([])
+        assert order.size == 0 and stats["rounds"] == 0
+
+    def test_singleton_elimination_shrinks_rounds(self):
+        """Diverse first chunks finish almost everything in round 1."""
+        rng = np.random.default_rng(0)
+        strings = [bytes(rng.integers(65, 91, 12).astype(np.uint8)) for _ in range(500)]
+        order, stats = string_sort(strings)
+        assert [strings[i] for i in order] == sorted(strings)
+        assert stats["eliminated"][0] > 450
+
+    @given(st.lists(st.binary(max_size=10), max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_sorted(self, strings):
+        order, _ = string_sort(strings)
+        assert [strings[i] for i in order] == sorted(strings)
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            string_sort([b"ok", "not bytes"])
+        with pytest.raises(TypeError):
+            string_sort(b"not a list")
+
+    def test_device_charged(self):
+        dev = Device(K40C)
+        string_sort([b"xy", b"xz", b"ab"], device=dev)
+        assert dev.total_ms > 0
+        stages = {r.stage for r in dev.timeline.records}
+        assert "sort" in stages  # the per-round pair sorts
+
+
+def naive_sa(text: bytes):
+    return sorted(range(len(text)), key=lambda i: text[i:])
+
+
+class TestSuffixArray:
+    def test_banana(self):
+        sa, _ = suffix_array(b"banana")
+        assert sa.tolist() == naive_sa(b"banana")
+
+    def test_repetitive_text(self):
+        text = b"abababababab"
+        sa, stats = suffix_array(text)
+        assert sa.tolist() == naive_sa(text)
+        assert stats["rounds"] >= 2  # long common prefixes force doubling
+
+    def test_all_same_char(self):
+        text = b"aaaaaaaa"
+        sa, _ = suffix_array(text)
+        assert sa.tolist() == naive_sa(text)
+
+    def test_empty_and_single(self):
+        sa, stats = suffix_array(b"")
+        assert sa.size == 0
+        sa, _ = suffix_array(b"x")
+        assert sa.tolist() == [0]
+
+    def test_unique_chars_single_round(self):
+        sa, stats = suffix_array(bytes(range(65, 91)))
+        assert sa.tolist() == list(range(26))
+        assert stats["rounds"] == 0  # character ranks already unique
+
+    @given(st.binary(max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_naive(self, text):
+        sa, _ = suffix_array(text)
+        assert sa.tolist() == naive_sa(text)
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            suffix_array("a string")
+
+    def test_rounds_logarithmic(self):
+        rng = np.random.default_rng(1)
+        text = bytes(rng.integers(97, 100, 4096).astype(np.uint8))  # 3-letter alphabet
+        sa, stats = suffix_array(text)
+        assert sa.tolist() == naive_sa(text)
+        assert stats["rounds"] <= 14  # ~log2(n) doubling rounds
+
+    def test_device_charged(self):
+        dev = Device(K40C)
+        suffix_array(b"mississippi", device=dev)
+        assert dev.total_ms > 0

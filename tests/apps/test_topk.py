@@ -1,0 +1,62 @@
+"""Tests for the top-k selection app."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.topk import top_k
+from repro.simt import Device, K40C
+
+
+class TestTopK:
+    def test_exact_against_sort(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 2**32, 1 << 17, dtype=np.uint32)
+        out, stats = top_k(keys, 500)
+        assert (out == np.sort(keys)[-500:][::-1]).all()
+        assert stats["passes"] >= 1
+        assert stats["max_middle"] < keys.size // 4
+
+    @pytest.mark.parametrize("k", [0, 1, 100])
+    def test_small_k(self, k):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 2**32, 10000, dtype=np.uint32)
+        out, _ = top_k(keys, k)
+        assert out.size == k
+        if k:
+            assert (out == np.sort(keys)[-k:][::-1]).all()
+
+    def test_k_exceeds_n(self):
+        keys = np.array([3, 1, 2], dtype=np.uint32)
+        out, _ = top_k(keys, 10)
+        assert out.tolist() == [3, 2, 1]
+
+    def test_duplicates(self):
+        keys = np.full(5000, 7, dtype=np.uint32)
+        out, _ = top_k(keys, 100)
+        assert (out == 7).all() and out.size == 100
+
+    def test_empty(self):
+        out, _ = top_k(np.zeros(0, dtype=np.uint32), 5)
+        assert out.size == 0
+
+    @given(st.integers(0, 2**31), st.integers(1, 2000), st.integers(0, 400))
+    @settings(max_examples=25, deadline=None)
+    def test_property(self, seed, n, k):
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, 2**32, n, dtype=np.uint32)
+        out, _ = top_k(keys, k, seed=seed)
+        expected = np.sort(keys)[::-1][:min(k, n)]
+        assert (out == expected).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top_k(np.zeros((2, 2), dtype=np.uint32), 1)
+        with pytest.raises(ValueError):
+            top_k(np.zeros(4, dtype=np.uint32), -1)
+
+    def test_device_charged(self):
+        dev = Device(K40C)
+        rng = np.random.default_rng(2)
+        top_k(rng.integers(0, 2**32, 1 << 15, dtype=np.uint32), 100, device=dev)
+        assert dev.total_ms > 0

@@ -1,0 +1,93 @@
+"""Tests for the dominant-axis voxelization pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.apps.voxelize import voxelize, dominant_axes
+from repro.simt import Device, K40C
+
+
+def quad(axis, w, lo=0.1, hi=0.9):
+    """Two triangles forming a square at coordinate ``w`` normal to ``axis``."""
+    u, v = [a for a in range(3) if a != axis]
+    def p(cu, cv):
+        pt = [0.0, 0.0, 0.0]
+        pt[axis] = w
+        pt[u] = cu
+        pt[v] = cv
+        return pt
+    t1 = [p(lo, lo), p(hi, lo), p(hi, hi)]
+    t2 = [p(lo, lo), p(hi, hi), p(lo, hi)]
+    return np.array([t1, t2])
+
+
+class TestDominantAxes:
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_axis_aligned_quads(self, axis):
+        tris = quad(axis, 0.5)
+        assert (dominant_axes(tris) == axis).all()
+
+    def test_tilted_triangle(self):
+        # mostly-z-facing triangle
+        tri = np.array([[[0, 0, 0.0], [1, 0, 0.1], [0, 1, 0.1]]])
+        assert dominant_axes(tri)[0] == 2
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            dominant_axes(np.zeros((3, 3)))
+
+
+class TestVoxelize:
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_axis_aligned_plane_is_one_slab(self, axis):
+        r = 16
+        grid, stats = voxelize(quad(axis, 0.5), resolution=r)
+        filled = np.flatnonzero(grid.any(axis=tuple(a for a in range(3) if a != axis)))
+        assert filled.size <= 2  # the plane occupies one (maybe two) slab(s)
+        assert grid.sum() > 0.3 * r * r  # most of the quad's area covered
+        assert stats["batches"][axis] == 2
+
+    def test_interior_cells_covered(self):
+        r = 16
+        grid, _ = voxelize(quad(2, 0.5, lo=0.0, hi=1.0), resolution=r)
+        w = int(0.5 * r)
+        assert grid[:, :, w].all()  # unit quad covers the full slab
+
+    def test_order_invariant(self):
+        rng = np.random.default_rng(0)
+        tris = rng.random((40, 3, 3))
+        g1, _ = voxelize(tris, resolution=12)
+        g2, _ = voxelize(tris[::-1].copy(), resolution=12)
+        assert (g1 == g2).all()
+
+    def test_empty_scene(self):
+        grid, stats = voxelize(np.zeros((0, 3, 3)), resolution=8)
+        assert not grid.any()
+        assert stats["batches"] == [0, 0, 0]
+
+    def test_batches_partition_triangles(self):
+        rng = np.random.default_rng(1)
+        tris = rng.random((100, 3, 3))
+        _, stats = voxelize(tris, resolution=8)
+        assert sum(stats["batches"]) == 100
+
+    def test_conservative_contains_vertices(self):
+        rng = np.random.default_rng(2)
+        tris = rng.random((20, 3, 3)) * 0.8 + 0.1
+        r = 16
+        grid, _ = voxelize(tris, resolution=r)
+        # every triangle vertex's voxel must be filled (conservative)
+        verts = tris.reshape(-1, 3)
+        cells = np.clip((verts * r).astype(int), 0, r - 1)
+        assert grid[cells[:, 0], cells[:, 1], cells[:, 2]].all()
+
+    def test_device_accounting(self):
+        dev = Device(K40C)
+        voxelize(quad(0, 0.3), resolution=8, device=dev)
+        stages = {r.stage for r in dev.timeline.records}
+        assert "raster" in stages
+        assert any(r.stage in ("prescan", "postscan") for r in dev.timeline.records)
+
+    def test_resolution_validated(self):
+        with pytest.raises(ValueError):
+            voxelize(quad(0, 0.5), resolution=0)

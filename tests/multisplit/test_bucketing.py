@@ -1,0 +1,147 @@
+"""Tests for bucket specifications."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.multisplit.bucketing import (
+    BucketSpec,
+    RangeBuckets,
+    IdentityBuckets,
+    DeltaBuckets,
+    PrimeCompositeBuckets,
+    CustomBuckets,
+    as_bucket_spec,
+)
+
+
+class TestRangeBuckets:
+    def test_two_buckets_split_domain(self):
+        spec = RangeBuckets(2)
+        keys = np.array([0, 2**31 - 1, 2**31, 2**32 - 1], dtype=np.uint32)
+        assert spec(keys).tolist() == [0, 0, 1, 1]
+
+    def test_m_buckets_boundaries(self):
+        m = 8
+        spec = RangeBuckets(m)
+        edges = [(i * 2**32) // m for i in range(m)]
+        keys = np.array(edges, dtype=np.uint32)
+        assert spec(keys).tolist() == list(range(m))
+
+    def test_custom_domain(self):
+        spec = RangeBuckets(4, lo=100, hi=200)
+        keys = np.array([100, 125, 150, 199])
+        assert spec(keys).tolist() == [0, 1, 2, 3]
+
+    def test_rejects_out_of_domain(self):
+        spec = RangeBuckets(4, lo=100, hi=200)
+        with pytest.raises(ValueError):
+            spec(np.array([200]))
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            RangeBuckets(4, lo=10, hi=10)
+
+    @given(st.integers(1, 64), st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=100))
+    @settings(max_examples=50)
+    def test_ids_always_in_range(self, m, keys):
+        spec = RangeBuckets(m)
+        ids = spec(np.array(keys, dtype=np.uint32))
+        assert ids.min() >= 0 and ids.max() < m
+
+    @given(st.integers(1, 64))
+    @settings(max_examples=30)
+    def test_monotone_in_key(self, m):
+        spec = RangeBuckets(m)
+        keys = np.sort(np.random.default_rng(0).integers(0, 2**32, 1000, dtype=np.uint32))
+        ids = spec(keys).astype(np.int64)
+        assert (np.diff(ids) >= 0).all()
+
+
+class TestIdentityBuckets:
+    def test_identity(self):
+        spec = IdentityBuckets(4)
+        keys = np.array([3, 0, 2, 1], dtype=np.uint32)
+        assert spec(keys).tolist() == [3, 0, 2, 1]
+
+    def test_rejects_large_keys(self):
+        with pytest.raises(ValueError):
+            IdentityBuckets(4)(np.array([4], dtype=np.uint32))
+
+    def test_zero_cost(self):
+        assert IdentityBuckets(4).instruction_cost == 0
+
+
+class TestDeltaBuckets:
+    def test_basic(self):
+        spec = DeltaBuckets(10.0, 4)
+        assert spec(np.array([0, 9, 10, 25, 1000])).tolist() == [0, 0, 1, 2, 3]
+
+    def test_clamps_to_last_bucket(self):
+        spec = DeltaBuckets(1.0, 3)
+        assert spec(np.array([100])).tolist() == [2]
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            DeltaBuckets(0.0, 4)
+
+    def test_float_keys(self):
+        spec = DeltaBuckets(0.5, 8)
+        assert spec(np.array([0.0, 0.49, 0.5, 1.7])).tolist() == [0, 0, 1, 3]
+
+
+class TestPrimeComposite:
+    def test_figure1_example(self):
+        # Figure 1: keys 59 46 31 3 17 6 25 82 -> primes {59,31,3,17} bucket 0
+        spec = PrimeCompositeBuckets()
+        keys = np.array([59, 46, 31, 3, 17, 6, 25, 82], dtype=np.uint32)
+        assert spec(keys).tolist() == [0, 1, 0, 0, 0, 1, 1, 1]
+
+    def test_zero_and_one_composite(self):
+        spec = PrimeCompositeBuckets()
+        assert spec(np.array([0, 1, 2], dtype=np.uint32)).tolist() == [1, 1, 0]
+
+    def test_empty(self):
+        assert PrimeCompositeBuckets()(np.array([], dtype=np.uint32)).size == 0
+
+    def test_domain_guard(self):
+        with pytest.raises(ValueError):
+            PrimeCompositeBuckets()(np.array([1 << 30], dtype=np.uint32))
+
+
+class TestCustomBuckets:
+    def test_wraps_callable(self):
+        spec = CustomBuckets(lambda k: k % 3, 3)
+        assert spec(np.arange(6, dtype=np.uint32)).tolist() == [0, 1, 2, 0, 1, 2]
+
+    def test_rejects_out_of_range_fn(self):
+        spec = CustomBuckets(lambda k: k, 2)
+        with pytest.raises(ValueError):
+            spec(np.array([5], dtype=np.uint32))
+
+    def test_rejects_shape_change(self):
+        spec = CustomBuckets(lambda k: k[:1], 2)
+        with pytest.raises(ValueError):
+            spec(np.zeros(4, dtype=np.uint32))
+
+
+class TestAsBucketSpec:
+    def test_passthrough(self):
+        spec = RangeBuckets(4)
+        assert as_bucket_spec(spec) is spec
+
+    def test_wraps_callable(self):
+        spec = as_bucket_spec(lambda k: k % 2, 2)
+        assert spec.num_buckets == 2
+
+    def test_callable_needs_m(self):
+        with pytest.raises(ValueError):
+            as_bucket_spec(lambda k: k % 2)
+
+    def test_rejects_other(self):
+        with pytest.raises(TypeError):
+            as_bucket_spec(42)
+
+    def test_base_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            BucketSpec(0)

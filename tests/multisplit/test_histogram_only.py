@@ -1,0 +1,81 @@
+"""Tests for the histogram-only mode."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.multisplit import multisplit, RangeBuckets
+from repro.multisplit.histogram_only import bucket_histogram
+from repro.simt import Device, K40C
+
+
+class TestBucketHistogram:
+    @pytest.mark.parametrize("granularity", ["warp", "block"])
+    def test_counts_match_bincount(self, granularity):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 2**32, 10000, dtype=np.uint32)
+        spec = RangeBuckets(8)
+        h = bucket_histogram(keys, spec, granularity=granularity)
+        assert (h.counts == np.bincount(spec(keys), minlength=8)).all()
+        assert h.starts[-1] == 10000
+
+    def test_cheaper_than_full_multisplit(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 2**32, 1 << 19, dtype=np.uint32)
+        spec = RangeBuckets(16)
+        h = bucket_histogram(keys, spec)
+        full = multisplit(keys, spec, method="block")
+        assert h.simulated_ms < full.simulated_ms / 2
+
+    def test_matches_multisplit_boundaries(self):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 2**32, 5000, dtype=np.uint32)
+        spec = RangeBuckets(5)
+        h = bucket_histogram(keys, spec)
+        res = multisplit(keys, spec, method="warp")
+        assert (h.starts == res.bucket_starts).all()
+
+    def test_empty(self):
+        h = bucket_histogram(np.zeros(0, dtype=np.uint32), RangeBuckets(4))
+        assert h.counts.tolist() == [0, 0, 0, 0]
+
+    def test_bare_callable(self):
+        keys = np.arange(64, dtype=np.uint32)
+        h = bucket_histogram(keys, lambda k: k % 4, 4)
+        assert (h.counts == 16).all()
+
+    @given(st.lists(st.integers(0, 2**32 - 1), max_size=400), st.integers(1, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_property(self, keys, m):
+        keys = np.array(keys, dtype=np.uint32)
+        spec = RangeBuckets(m)
+        h = bucket_histogram(keys, spec, granularity="warp")
+        assert (h.counts == np.bincount(spec(keys), minlength=m)).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="granularity"):
+            bucket_histogram(np.zeros(8, dtype=np.uint32), RangeBuckets(2),
+                             granularity="grid")
+        with pytest.raises(ValueError, match="m <= 32"):
+            bucket_histogram(np.zeros(8, dtype=np.uint32), RangeBuckets(64),
+                             granularity="warp")
+
+    def test_device_timeline(self):
+        dev = Device(K40C)
+        bucket_histogram(np.arange(256, dtype=np.uint32), RangeBuckets(2),
+                         device=dev)
+        assert {r.stage for r in dev.timeline.records} == {"prescan", "scan"}
+
+
+class TestLargeM:
+    def test_block_granularity_beyond_warp_width(self):
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 2**32, 20000, dtype=np.uint32)
+        spec = RangeBuckets(500)
+        h = bucket_histogram(keys, spec, granularity="block")
+        assert (h.counts == np.bincount(spec(keys), minlength=500)).all()
+
+    def test_warp_granularity_still_guarded(self):
+        with pytest.raises(ValueError, match="granularity='block'"):
+            bucket_histogram(np.zeros(8, dtype=np.uint32), RangeBuckets(64),
+                             granularity="warp")

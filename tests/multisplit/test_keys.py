@@ -1,0 +1,120 @@
+"""Tests for order-preserving key transforms and float/int multisplit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.multisplit import DeltaBuckets, CustomBuckets
+from repro.multisplit.keys import (
+    encode_keys,
+    decode_keys,
+    encode_float32,
+    decode_float32,
+    encode_int32,
+    decode_int32,
+    multisplit_any,
+)
+
+finite_floats = st.floats(width=32, allow_nan=False, allow_infinity=True)
+
+
+class TestFloatCodec:
+    @given(st.lists(finite_floats, min_size=2, max_size=200))
+    @settings(max_examples=60)
+    def test_order_preserving(self, vals):
+        arr = np.array(vals, dtype=np.float32)
+        enc = encode_float32(arr)
+        order_f = np.argsort(arr, kind="stable")
+        order_e = np.argsort(enc, kind="stable")
+        assert (arr[order_f] == arr[order_e]).all()
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    @settings(max_examples=60)
+    def test_roundtrip(self, vals):
+        arr = np.array(vals, dtype=np.float32)
+        out = decode_float32(encode_float32(arr))
+        # bit-exact round trip, including -0.0
+        assert (out.view(np.uint32) == arr.view(np.uint32)).all()
+
+    def test_special_values_ordered(self):
+        arr = np.array([np.inf, -np.inf, 0.0, -0.0, 1.0, -1.0, 1e-38],
+                       dtype=np.float32)
+        enc = encode_float32(arr).astype(np.int64)
+        assert enc[np.argsort(arr[:2])].tolist() == sorted(enc[:2].tolist())
+        assert int(enc[1]) == enc.min()  # -inf smallest
+        assert int(enc[0]) == enc.max()  # +inf largest
+        assert enc[3] <= enc[2]          # -0.0 <= +0.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            encode_float32(np.array([1.0, np.nan], dtype=np.float32))
+
+
+class TestIntCodec:
+    @given(st.lists(st.integers(-2**31, 2**31 - 1), min_size=2, max_size=200))
+    @settings(max_examples=60)
+    def test_order_preserving_and_roundtrip(self, vals):
+        arr = np.array(vals, dtype=np.int32)
+        enc = encode_int32(arr)
+        assert (np.argsort(arr, kind="stable") == np.argsort(enc, kind="stable")).all()
+        assert (decode_int32(enc) == arr).all()
+
+
+class TestDispatch:
+    def test_uint32_passthrough(self):
+        arr = np.array([1, 2], dtype=np.uint32)
+        assert (encode_keys(arr) == arr).all()
+        assert (decode_keys(arr, np.uint32) == arr).all()
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(TypeError):
+            encode_keys(np.zeros(4, dtype=np.float64))
+        with pytest.raises(TypeError):
+            decode_keys(np.zeros(4, dtype=np.uint32), np.int16)
+
+
+class TestMultisplitAny:
+    def test_float_delta_buckets(self):
+        rng = np.random.default_rng(0)
+        keys = (rng.random(5000) * 100).astype(np.float32)
+        spec = DeltaBuckets(10.0, 10)
+        res = multisplit_any(keys, spec, method="warp")
+        assert res.keys.dtype == np.float32
+        # contiguous ascending buckets of width 10
+        ids = np.clip((res.keys // 10).astype(int), 0, 9)
+        assert (np.diff(ids) >= 0).all()
+        assert np.sort(res.keys).tolist() == sorted(keys.tolist())
+
+    def test_negative_floats(self):
+        rng = np.random.default_rng(1)
+        keys = (rng.random(3000) * 20 - 10).astype(np.float32)
+        spec = CustomBuckets(lambda k: (k >= 0).astype(np.uint32), 2)
+        res = multisplit_any(keys, spec, method="warp")
+        b = res.bucket_starts[1]
+        assert (res.keys[:b] < 0).all() and (res.keys[b:] >= 0).all()
+
+    def test_int32_keys(self):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(-1000, 1000, 4000).astype(np.int32)
+        spec = CustomBuckets(lambda k: np.where(k < -100, 0,
+                                                np.where(k < 100, 1, 2)).astype(np.uint32), 3)
+        res = multisplit_any(keys, spec, method="warp")
+        assert res.keys.dtype == np.int32
+        s = res.bucket_starts
+        assert (res.keys[:s[1]] < -100).all()
+        assert ((res.keys[s[1]:s[2]] >= -100) & (res.keys[s[1]:s[2]] < 100)).all()
+        assert (res.keys[s[2]:] >= 100).all()
+
+    def test_stability_on_floats(self):
+        keys = np.array([1.5, 0.5, 1.5, 0.5] * 50, dtype=np.float32)
+        values = np.arange(200, dtype=np.uint32)
+        spec = CustomBuckets(lambda k: (k > 1.0).astype(np.uint32), 2)
+        res = multisplit_any(keys, spec, values=values, method="warp")
+        for b in range(2):
+            vals = res.values[res.bucket_starts[b]:res.bucket_starts[b + 1]]
+            assert (np.diff(vals.astype(np.int64)) > 0).all()
+
+    def test_uint32_direct_path(self):
+        keys = np.arange(256, dtype=np.uint32)
+        res = multisplit_any(keys, lambda k: k % 2, 2, method="warp")
+        assert res.keys.dtype == np.uint32

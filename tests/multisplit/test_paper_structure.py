@@ -1,0 +1,102 @@
+"""Structural fidelity tests for the paper's Tables 1 and 2.
+
+Table 1 gives the size of the global operation per granularity
+(``m x L`` with L = warps, or blocks); Table 2 itemizes which stages
+read/write what. These tests pin our implementations to that structure
+through the audited counters, independent of any timing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.multisplit import multisplit, RangeBuckets
+from repro.simt import Device, K40C
+
+N = 1 << 16
+M = 8
+NW = 8
+
+
+def run(method, kv=False, **kw):
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 2**32, N, dtype=np.uint32)
+    values = rng.integers(0, 2**32, N, dtype=np.uint32) if kv else None
+    dev = Device(K40C)
+    multisplit(keys, RangeBuckets(M), values=values, method=method, device=dev,
+               warps_per_block=NW, **kw)
+    return {r.name: r.counters for r in dev.timeline.records}
+
+
+class TestTable1GlobalOperationSize:
+    """H is m x L; L = warps for Direct/Warp MS, blocks for Block MS."""
+
+    def _h_write_bytes(self, counters, kernel_sub):
+        pre = next(c for name, c in counters.items() if kernel_sub in name)
+        # pre-scan reads n keys and writes exactly H
+        return pre.global_write_bytes_useful
+
+    def test_direct_h_is_m_by_warps(self):
+        counters = run("direct")
+        warps = N // 32
+        assert self._h_write_bytes(counters, "warp_histogram") == M * warps * 4
+
+    def test_block_h_is_m_by_blocks(self):
+        counters = run("block")
+        blocks = N // (32 * NW)
+        assert self._h_write_bytes(counters, "block_histogram") == M * blocks * 4
+
+    def test_block_scan_is_nw_times_smaller(self):
+        d = run("direct")
+        b = run("block")
+        scan_d = next(c for n_, c in d.items() if "device_scan" in n_)
+        scan_b = next(c for n_, c in b.items() if "device_scan" in n_)
+        assert scan_d.global_read_bytes_useful > \
+            NW * 0.9 * scan_b.global_read_bytes_useful
+
+    def test_coarsening_shrinks_h(self):
+        c1 = run("direct", items_per_lane=1)
+        c4 = run("direct", items_per_lane=4)
+        h1 = self._h_write_bytes(c1, "warp_histogram")
+        h4 = self._h_write_bytes(c4, "warp_histogram")
+        assert h1 == 4 * h4
+
+
+class TestTable2StageTraffic:
+    """Post-scan reads keys (+values) and global offsets: 2n + mL."""
+
+    def test_direct_postscan_reads(self):
+        counters = run("direct")
+        post = next(c for name, c in counters.items() if "scatter" in name)
+        warps = N // 32
+        assert post.global_read_bytes_useful == N * 4 + M * warps * 4
+
+    def test_direct_postscan_reads_kv(self):
+        counters = run("direct", kv=True)
+        post = next(c for name, c in counters.items() if "scatter" in name)
+        warps = N // 32
+        assert post.global_read_bytes_useful == 2 * N * 4 + M * warps * 4
+
+    def test_prescan_reads_only_keys(self):
+        """Table 2: pre-scan reads keys only (n), even for key-value runs
+        — the motivation for post-scan (not pre-scan) reordering."""
+        for method in ("direct", "warp", "block"):
+            counters = run(method, kv=True)
+            pre = next(c for name, c in counters.items()
+                       if "histogram" in name and "device" not in name)
+            assert pre.global_read_bytes_useful == N * 4, method
+
+    def test_all_methods_write_n_elements_out(self):
+        for method, kv in (("direct", False), ("warp", True), ("block", True)):
+            counters = run(method, kv=kv)
+            post = next(c for name, c in counters.items()
+                        if "scatter" in name)
+            expect = N * 4 * (2 if kv else 1)
+            assert post.global_write_bytes_useful == expect, method
+
+    def test_recompute_not_store(self):
+        """Footnote 6: bucket ids are recomputed, never stored — the
+        pre-scan of Direct MS writes exactly H and nothing else."""
+        counters = run("direct")
+        pre = next(c for name, c in counters.items() if "warp_histogram" in name)
+        warps = N // 32
+        assert pre.global_write_bytes_useful == M * warps * 4

@@ -1,0 +1,195 @@
+"""Qualitative reproduction tests: the paper's performance claims must
+hold in the cost model (who wins, where, and why)."""
+
+import numpy as np
+import pytest
+
+from repro.multisplit import multisplit, RangeBuckets
+from repro.simt import Device, K40C, GTX750TI
+from repro.sort import radix_sort
+from repro.workloads import uniform_keys, binomial_keys, random_values
+
+N = 1 << 19
+
+
+def run(method, m, kv=False, spec=K40C, n=N, keys=None, seed=0):
+    rng = np.random.default_rng(seed)
+    if keys is None:
+        keys = uniform_keys(n, m, rng)
+    values = random_values(keys.size, rng) if kv else None
+    return multisplit(keys, RangeBuckets(m), values=values, method=method,
+                      device=Device(spec))
+
+
+def radix_ms(kv=False, spec=K40C, n=N, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = uniform_keys(n, 2, rng)
+    values = random_values(n, rng) if kv else None
+    dev = Device(spec)
+    radix_sort(dev, keys, values)
+    return dev.total_ms
+
+
+class TestHeadlineClaims:
+    """Abstract: 3.0-6.7x over radix sort key-only, 4.4-8.0x key-value."""
+
+    @pytest.mark.parametrize("m", [2, 8, 32])
+    def test_beats_radix_sort_key_only(self, m):
+        base = radix_ms(kv=False)
+        for method in ("direct", "warp", "block"):
+            speedup = base / run(method, m).simulated_ms
+            assert 2.0 < speedup < 9.0, (method, m, speedup)
+
+    @pytest.mark.parametrize("m", [2, 8, 32])
+    def test_beats_radix_sort_key_value(self, m):
+        base = radix_ms(kv=True)
+        for method in ("direct", "warp", "block"):
+            speedup = base / run(method, m, kv=True).simulated_ms
+            assert 2.0 < speedup < 10.0, (method, m, speedup)
+
+    def test_warp_level_peak_at_two_buckets(self):
+        """Warp-level MS has the highest throughput of all methods at m=2."""
+        others = ["direct", "block", "scan_split", "reduced_bit"]
+        warp = run("warp", 2).simulated_ms
+        for method in others:
+            assert warp < run(method, 2).simulated_ms, method
+
+
+class TestFigure3Crossovers:
+    def test_warp_best_small_m(self):
+        assert run("warp", 2).simulated_ms < run("block", 2).simulated_ms
+
+    def test_block_best_large_m(self):
+        assert run("block", 32).simulated_ms < run("warp", 32).simulated_ms
+        assert run("block", 32).simulated_ms < run("direct", 32).simulated_ms
+
+    def test_block_flattest_in_m(self):
+        """Block-level MS grows least from m=2 to m=32 (smallest scan)."""
+        growth = {}
+        for method in ("direct", "warp", "block"):
+            growth[method] = run(method, 32).simulated_ms / run(method, 2).simulated_ms
+        assert growth["block"] < growth["direct"]
+        assert growth["block"] < growth["warp"]
+
+    def test_scan_stage_shrinks_by_nw(self):
+        """Block-level's global scan is ~NW times cheaper (Table 1)."""
+        direct = run("direct", 32).stage_ms("scan")
+        block = run("block", 32).stage_ms("scan")
+        assert block < direct / 3
+
+
+class TestReorderingEffects:
+    def test_warp_reorder_helps_at_small_m(self):
+        d = run("direct", 2)
+        w = run("warp", 2)
+        assert w.stage_ms("postscan") < d.stage_ms("postscan")
+
+    def test_warp_reorder_reduces_issue_runs(self):
+        d = run("direct", 4)
+        w = run("warp", 4)
+        runs_d = sum(r.counters.global_issue_runs for r in d.timeline.records)
+        runs_w = sum(r.counters.global_issue_runs for r in w.timeline.records)
+        assert runs_w < runs_d / 2
+
+    def test_same_write_sectors_direct_vs_warp(self):
+        """Intra-warp reordering cannot change the sector *set* per warp."""
+        d = run("direct", 8)
+        w = run("warp", 8)
+        sec_d = d.timeline.records[-1].counters.global_write_sectors
+        sec_w = w.timeline.records[-1].counters.global_write_sectors
+        assert sec_w == pytest.approx(sec_d, rel=0.01)
+
+    def test_block_reorder_reduces_write_sectors(self):
+        d = run("direct", 32)
+        b = run("block", 32)
+        sec_d = d.timeline.records[-1].counters.global_write_sectors
+        sec_b = b.timeline.records[-1].counters.global_write_sectors
+        assert sec_b < sec_d / 2
+
+
+class TestDistributionEffects:
+    """Figure 5: non-uniform distributions run faster than uniform."""
+
+    @pytest.mark.parametrize("method", ["block", "reduced_bit"])
+    def test_binomial_faster_than_uniform(self, method):
+        m = 16
+        rng = np.random.default_rng(0)
+        t_uni = run(method, m, keys=uniform_keys(N, m, rng)).simulated_ms
+        t_bin = run(method, m, keys=binomial_keys(N, m, 0.5, rng)).simulated_ms
+        assert t_bin < t_uni
+
+    def test_single_bucket_spike_fastest(self):
+        m = 16
+        spike = np.full(N, 7 * (2**32 // 16) + 5, dtype=np.uint32)
+        t_spike = run("block", m, keys=spike).simulated_ms
+        rng = np.random.default_rng(1)
+        t_uni = run("block", m, keys=uniform_keys(N, m, rng)).simulated_ms
+        assert t_spike < t_uni
+
+
+class TestMicroarchitectures:
+    """Section 6.3: reordering pays off more on Maxwell."""
+
+    def test_maxwell_slower_absolute(self):
+        assert run("warp", 8, spec=GTX750TI).simulated_ms > run("warp", 8).simulated_ms
+
+    def test_reordering_relatively_better_on_maxwell(self):
+        adv_kepler = (run("direct", 2).simulated_ms /
+                      run("warp", 2).simulated_ms)
+        adv_maxwell = (run("direct", 2, spec=GTX750TI).simulated_ms /
+                       run("warp", 2, spec=GTX750TI).simulated_ms)
+        assert adv_maxwell > adv_kepler
+
+
+class TestLargeBucketCounts:
+    """Figure 4: block-level degrades with m; reduced-bit scales ~log m."""
+
+    def test_block_grows_superlinearly_past_warp_width(self):
+        t64 = run("block", 64, n=1 << 17).simulated_ms
+        t512 = run("block", 512, n=1 << 17).simulated_ms
+        assert t512 > 2 * t64
+
+    def test_reduced_bit_steps_with_log_m(self):
+        t64 = run("reduced_bit", 64, n=1 << 17).simulated_ms
+        t256 = run("reduced_bit", 256, n=1 << 17).simulated_ms  # still 1 pass
+        t1024 = run("reduced_bit", 1024, n=1 << 17).simulated_ms  # 2 passes
+        assert t256 < 1.5 * t64
+        assert t1024 > 1.25 * t256
+
+    def test_reduced_bit_beats_block_at_huge_m(self):
+        n = 1 << 17
+        assert (run("reduced_bit", 2048, n=n).simulated_ms
+                < run("block", 2048, n=n).simulated_ms)
+
+    def test_block_occupancy_degrades_with_m(self):
+        res = run("block", 2048, n=1 << 17)
+        post = [r for r in res.timeline.records if r.stage == "postscan"][0]
+        assert post.time.occupancy < 0.5
+
+
+class TestRandomizedTradeoff:
+    """Section 3.5: contention vs memory; ~2x slower than radix sort at
+    the paper's best setting (x = 2)."""
+
+    def test_about_2x_slower_than_radix(self):
+        t = run_randomized(2.0)
+        ratio = t / radix_ms(n=1 << 17, seed=3)
+        assert 1.3 < ratio < 3.5
+        # and far slower than the proposed deterministic methods
+        assert t > 3 * run("warp", 8, n=1 << 17).simulated_ms
+
+    def test_relaxation_tradeoff(self):
+        """Small x drowns in collisions; the curve flattens past x~2-3."""
+        times = {x: run_randomized(x) for x in (1.05, 2.0, 3.0, 8.0)}
+        assert times[2.0] < times[1.05] / 2
+        assert times[3.0] < times[1.05]
+        # past the sweet spot the extra memory keeps it from improving much
+        assert times[8.0] > times[3.0] * 0.8
+
+
+def run_randomized(relaxation):
+    rng = np.random.default_rng(3)
+    keys = uniform_keys(1 << 17, 8, rng)
+    res = multisplit(keys, RangeBuckets(8), method="randomized",
+                     relaxation=relaxation, device=Device(K40C))
+    return res.simulated_ms

@@ -1,0 +1,100 @@
+"""Property-based tests: the multisplit contract under arbitrary inputs."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.multisplit import (
+    multisplit,
+    RangeBuckets,
+    CustomBuckets,
+    check_multisplit,
+    reference_multisplit,
+)
+
+keys_strategy = st.lists(st.integers(0, 2**32 - 1), min_size=0, max_size=600)
+stable_methods = st.sampled_from(["direct", "warp", "block", "recursive_split", "reduced_bit"])
+
+
+@given(keys_strategy, st.integers(1, 32), stable_methods)
+@settings(max_examples=60, deadline=None)
+def test_stable_multisplit_contract(keys, m, method):
+    keys = np.array(keys, dtype=np.uint32)
+    spec = RangeBuckets(m)
+    res = multisplit(keys, spec, method=method)
+    check_multisplit(res, keys, spec)
+
+
+@given(keys_strategy, st.integers(1, 32), stable_methods, st.integers(0, 2**31))
+@settings(max_examples=40, deadline=None)
+def test_key_value_pairing_preserved(keys, m, method, vseed):
+    keys = np.array(keys, dtype=np.uint32)
+    values = np.random.default_rng(vseed).integers(0, 2**32, keys.size, dtype=np.uint32)
+    spec = RangeBuckets(m)
+    res = multisplit(keys, spec, values=values, method=method)
+    check_multisplit(res, keys, spec, values)
+
+
+@given(keys_strategy, st.integers(33, 300))
+@settings(max_examples=30, deadline=None)
+def test_block_level_large_m_contract(keys, m):
+    keys = np.array(keys, dtype=np.uint32)
+    spec = RangeBuckets(m)
+    res = multisplit(keys, spec, method="block")
+    check_multisplit(res, keys, spec)
+
+
+@given(keys_strategy, st.integers(1, 64), st.integers(2, 7))
+@settings(max_examples=40, deadline=None)
+def test_custom_modulo_buckets(keys, seed, m):
+    """Non-monotone bucket functions (keys not comparable across buckets)."""
+    keys = np.array(keys, dtype=np.uint32)
+    spec = CustomBuckets(lambda k: k % m, m)
+    method = "warp" if m <= 32 else "block"
+    res = multisplit(keys, spec, method=method)
+    check_multisplit(res, keys, spec)
+
+
+@given(keys_strategy, st.integers(1, 16))
+@settings(max_examples=40, deadline=None)
+def test_randomized_is_valid_partition(keys, m):
+    keys = np.array(keys, dtype=np.uint32)
+    spec = RangeBuckets(m)
+    res = multisplit(keys, spec, method="randomized")
+    # not stable, but must still be a contiguous-bucket permutation
+    check_multisplit(res, keys, spec)
+
+
+@given(keys_strategy, st.integers(1, 32))
+@settings(max_examples=40, deadline=None)
+def test_reference_oracle_self_consistent(keys, m):
+    keys = np.array(keys, dtype=np.uint32)
+    spec = RangeBuckets(m)
+    out, _, starts = reference_multisplit(keys, spec)
+    assert out.size == keys.size
+    assert starts[-1] == keys.size
+    ids = spec(out)
+    assert (np.diff(ids.astype(np.int64)) >= 0).all()
+
+
+@given(keys_strategy, st.integers(1, 32), stable_methods, stable_methods)
+@settings(max_examples=30, deadline=None)
+def test_all_stable_methods_agree(keys, m, method_a, method_b):
+    """Every stable implementation computes the *same* permutation."""
+    keys = np.array(keys, dtype=np.uint32)
+    spec = RangeBuckets(m)
+    ra = multisplit(keys, spec, method=method_a)
+    rb = multisplit(keys, spec, method=method_b)
+    assert (ra.keys == rb.keys).all()
+    assert (ra.bucket_starts == rb.bucket_starts).all()
+
+
+@given(st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=300),
+       st.integers(1, 32))
+@settings(max_examples=30, deadline=None)
+def test_multisplit_idempotent_on_sorted_output(keys, m):
+    """Multisplit of an already-bucketed vector is the identity."""
+    keys = np.array(keys, dtype=np.uint32)
+    spec = RangeBuckets(m)
+    once = multisplit(keys, spec, method="warp")
+    twice = multisplit(once.keys, spec, method="warp")
+    assert (once.keys == twice.keys).all()

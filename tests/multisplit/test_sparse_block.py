@@ -1,0 +1,100 @@
+"""Tests for the sparse-histogram block-level extension (Section 6.4
+future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.multisplit import (
+    multisplit,
+    sparse_block_multisplit,
+    block_level_multisplit,
+    RangeBuckets,
+    check_multisplit,
+)
+from repro.simt import Device, K40C
+from repro.workloads import uniform_keys, binomial_keys
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("m", [1, 2, 8, 32, 64, 500, 5000])
+    @pytest.mark.parametrize("kv", [False, True])
+    def test_contract(self, m, kv):
+        rng = np.random.default_rng(m)
+        keys = rng.integers(0, 2**32, 4000, dtype=np.uint32)
+        values = rng.integers(0, 2**32, 4000, dtype=np.uint32) if kv else None
+        spec = RangeBuckets(m)
+        res = sparse_block_multisplit(keys, spec, values=values)
+        check_multisplit(res, keys, spec, values)
+        assert res.method == "sparse_block"
+
+    @pytest.mark.parametrize("n", [0, 1, 255, 256, 257])
+    def test_edges(self, n):
+        rng = np.random.default_rng(n)
+        keys = rng.integers(0, 2**32, n, dtype=np.uint32)
+        spec = RangeBuckets(100)
+        res = sparse_block_multisplit(keys, spec)
+        check_multisplit(res, keys, spec)
+
+    def test_same_permutation_as_dense(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 2**32, 8000, dtype=np.uint32)
+        spec = RangeBuckets(200)
+        dense = block_level_multisplit(keys, spec)
+        sparse = sparse_block_multisplit(keys, spec)
+        assert (dense.keys == sparse.keys).all()
+
+    @given(st.integers(0, 1200), st.integers(1, 2000), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_property(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, 2**32, n, dtype=np.uint32)
+        spec = RangeBuckets(m)
+        res = sparse_block_multisplit(keys, spec)
+        check_multisplit(res, keys, spec)
+
+    def test_via_api(self):
+        keys = np.random.default_rng(2).integers(0, 2**32, 2048, dtype=np.uint32)
+        spec = RangeBuckets(300)
+        res = multisplit(keys, spec, method="sparse_block")
+        check_multisplit(res, keys, spec)
+
+
+class TestSparsityEconomics:
+    def test_nnz_bounded_by_tile(self):
+        rng = np.random.default_rng(3)
+        keys = uniform_keys(1 << 15, 100000, rng)
+        res = sparse_block_multisplit(keys, RangeBuckets(100000))
+        blocks = -(-keys.size // 256)
+        assert res.extra["nnz"] <= blocks * 256
+        assert res.extra["nnz"] < res.extra["dense_entries"] / 100
+
+    def test_beats_dense_at_large_m(self):
+        rng = np.random.default_rng(4)
+        keys = uniform_keys(1 << 18, 2048, rng)
+        dense = block_level_multisplit(keys, RangeBuckets(2048))
+        sparse = sparse_block_multisplit(keys, RangeBuckets(2048))
+        assert sparse.simulated_ms < dense.simulated_ms / 3
+
+    def test_dense_wins_at_small_m(self):
+        """The block sort is pure overhead when the dense path is cheap."""
+        rng = np.random.default_rng(5)
+        keys = uniform_keys(1 << 18, 16, rng)
+        dense = block_level_multisplit(keys, RangeBuckets(16))
+        sparse = sparse_block_multisplit(keys, RangeBuckets(16))
+        assert dense.simulated_ms < sparse.simulated_ms
+
+    def test_no_occupancy_collapse(self):
+        rng = np.random.default_rng(6)
+        keys = uniform_keys(1 << 16, 4096, rng)
+        res = sparse_block_multisplit(keys, RangeBuckets(4096))
+        post = [r for r in res.timeline.records if r.stage == "postscan"][0]
+        assert post.time.occupancy == 1.0
+
+    def test_skewed_keys_fewer_entries(self):
+        rng = np.random.default_rng(7)
+        m = 1024
+        uni = sparse_block_multisplit(uniform_keys(1 << 16, m, rng), RangeBuckets(m))
+        skew = sparse_block_multisplit(binomial_keys(1 << 16, m, 0.5, rng),
+                                       RangeBuckets(m))
+        assert skew.extra["nnz"] < uni.extra["nnz"]

@@ -1,0 +1,110 @@
+"""Failure-injection tests: the validator must catch corrupted outputs."""
+
+import numpy as np
+import pytest
+
+from repro.multisplit import (
+    multisplit,
+    RangeBuckets,
+    check_multisplit,
+    MultisplitValidationError,
+)
+
+
+@pytest.fixture
+def good():
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 2**32, 512, dtype=np.uint32)
+    values = rng.integers(0, 2**32, 512, dtype=np.uint32)
+    spec = RangeBuckets(4)
+    res = multisplit(keys, spec, values=values, method="warp")
+    return keys, values, spec, res
+
+
+class TestFailureInjection:
+    def test_valid_passes(self, good):
+        keys, values, spec, res = good
+        check_multisplit(res, keys, spec, values)
+
+    def test_swapped_cross_bucket_elements_caught(self, good):
+        keys, values, spec, res = good
+        res.keys[0], res.keys[-1] = res.keys[-1].copy(), res.keys[0].copy()
+        with pytest.raises(MultisplitValidationError):
+            check_multisplit(res, keys, spec, values)
+
+    def test_mutated_key_caught(self, good):
+        keys, values, spec, res = good
+        res.keys = res.keys.copy()
+        res.keys[5] ^= np.uint32(1 << 31)
+        with pytest.raises(MultisplitValidationError):
+            check_multisplit(res, keys, spec, values)
+
+    def test_wrong_bucket_starts_caught(self, good):
+        keys, values, spec, res = good
+        res.bucket_starts = res.bucket_starts.copy()
+        res.bucket_starts[1] += 1
+        with pytest.raises(MultisplitValidationError):
+            check_multisplit(res, keys, spec, values)
+
+    def test_non_spanning_starts_caught(self, good):
+        keys, values, spec, res = good
+        res.bucket_starts = res.bucket_starts.copy()
+        res.bucket_starts[-1] -= 1
+        with pytest.raises(MultisplitValidationError, match="span"):
+            check_multisplit(res, keys, spec, values)
+
+    def test_decreasing_starts_caught(self, good):
+        keys, values, spec, res = good
+        starts = res.bucket_starts.copy()
+        starts[1], starts[2] = starts[2] + 4, starts[1]
+        res.bucket_starts = starts
+        with pytest.raises(MultisplitValidationError):
+            check_multisplit(res, keys, spec, values)
+
+    def test_wrong_starts_shape_caught(self, good):
+        keys, values, spec, res = good
+        res.bucket_starts = res.bucket_starts[:-1]
+        with pytest.raises(MultisplitValidationError, match="shape"):
+            check_multisplit(res, keys, spec, values)
+
+    def test_truncated_output_caught(self, good):
+        keys, values, spec, res = good
+        res.keys = res.keys[:-1]
+        with pytest.raises(MultisplitValidationError, match="shape"):
+            check_multisplit(res, keys, spec, values)
+
+    def test_unstable_within_bucket_caught(self, good):
+        keys, values, spec, res = good
+        # swap two same-bucket neighbours with different keys: still a valid
+        # partition, but no longer the stable permutation
+        ids = spec(res.keys)
+        idx = None
+        for i in range(len(ids) - 1):
+            if ids[i] == ids[i + 1] and res.keys[i] != res.keys[i + 1]:
+                idx = i
+                break
+        assert idx is not None
+        res.keys = res.keys.copy()
+        res.values = res.values.copy()
+        res.keys[[idx, idx + 1]] = res.keys[[idx + 1, idx]]
+        res.values[[idx, idx + 1]] = res.values[[idx + 1, idx]]
+        with pytest.raises(MultisplitValidationError, match="stable"):
+            check_multisplit(res, keys, spec, values)
+
+    def test_broken_kv_pairing_caught(self, good):
+        keys, values, spec, res = good
+        res.values = res.values.copy()
+        res.values[3] += 1
+        with pytest.raises(MultisplitValidationError):
+            check_multisplit(res, keys, spec, values)
+
+    def test_missing_values_caught(self, good):
+        keys, values, spec, res = good
+        res.values = None
+        with pytest.raises(MultisplitValidationError, match="values"):
+            check_multisplit(res, keys, spec, values)
+
+    def test_bucket_count_mismatch_caught(self, good):
+        keys, values, spec, res = good
+        with pytest.raises(MultisplitValidationError, match="buckets"):
+            check_multisplit(res, keys, RangeBuckets(8), values)

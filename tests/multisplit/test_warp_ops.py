@@ -1,0 +1,173 @@
+"""Tests for the paper's Algorithms 2 & 3 (warp histogram / local offsets)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simt import WarpGang, KernelCounters
+from repro.multisplit.warp_ops import (
+    warp_histogram,
+    warp_offsets,
+    warp_histogram_and_offsets,
+    _bitmap_paths,
+    _arithmetic_paths,
+)
+
+
+def oracle_histogram(bucket_id, m, valid=None):
+    W = bucket_id.shape[0]
+    out = np.zeros((W, m), dtype=np.int64)
+    for w in range(W):
+        for lane in range(32):
+            if valid is None or valid[w, lane]:
+                out[w, bucket_id[w, lane]] += 1
+    return out
+
+
+def oracle_offsets(bucket_id, m, valid=None):
+    W = bucket_id.shape[0]
+    out = np.zeros((W, 32), dtype=np.int64)
+    for w in range(W):
+        seen = {}
+        for lane in range(32):
+            if valid is None or valid[w, lane]:
+                b = bucket_id[w, lane]
+                out[w, lane] = seen.get(b, 0)
+                seen[b] = seen.get(b, 0) + 1
+    return out
+
+
+def rand_ids(W, m, seed=0):
+    return np.random.default_rng(seed).integers(0, m, size=(W, 32)).astype(np.uint32)
+
+
+class TestWarpHistogram:
+    @pytest.mark.parametrize("m", [1, 2, 3, 5, 8, 16, 31, 32])
+    def test_matches_oracle(self, m):
+        ids = rand_ids(6, m, seed=m)
+        gang = WarpGang(6, KernelCounters())
+        assert (warp_histogram(gang, ids, m) == oracle_histogram(ids, m)).all()
+
+    def test_all_same_bucket(self):
+        ids = np.full((2, 32), 3, dtype=np.uint32)
+        gang = WarpGang(2)
+        hist = warp_histogram(gang, ids, 8)
+        assert (hist[:, 3] == 32).all()
+        assert hist.sum() == 64
+
+    def test_with_valid_mask(self):
+        ids = rand_ids(4, 8, seed=1)
+        valid = np.random.default_rng(2).random((4, 32)) < 0.5
+        gang = WarpGang(4)
+        assert (warp_histogram(gang, ids, 8, valid) == oracle_histogram(ids, 8, valid)).all()
+
+    def test_histogram_sums_to_valid_count(self):
+        ids = rand_ids(4, 16, seed=3)
+        valid = np.random.default_rng(4).random((4, 32)) < 0.7
+        gang = WarpGang(4)
+        hist = warp_histogram(gang, ids, 16, valid)
+        assert (hist.sum(axis=1) == valid.sum(axis=1)).all()
+
+    def test_shape_validated(self):
+        gang = WarpGang(2)
+        with pytest.raises(ValueError):
+            warp_histogram(gang, np.zeros((3, 32), dtype=np.uint32), 4)
+        with pytest.raises(ValueError):
+            warp_histogram(gang, np.zeros((2, 32), dtype=np.uint32), 0)
+
+
+class TestWarpOffsets:
+    @pytest.mark.parametrize("m", [1, 2, 4, 7, 32])
+    def test_matches_oracle(self, m):
+        ids = rand_ids(5, m, seed=10 + m)
+        gang = WarpGang(5)
+        assert (warp_offsets(gang, ids, m) == oracle_offsets(ids, m)).all()
+
+    def test_first_of_bucket_gets_zero(self):
+        """Regression for the paper's Algorithm 3 off-by-one: offsets are
+        exclusive (rank among strictly preceding same-bucket lanes)."""
+        ids = np.zeros((1, 32), dtype=np.uint32)
+        gang = WarpGang(1)
+        off = warp_offsets(gang, ids, 2)
+        assert off[0].tolist() == list(range(32))
+
+    def test_offsets_unique_within_bucket(self):
+        ids = rand_ids(8, 4, seed=5)
+        gang = WarpGang(8)
+        off = warp_offsets(gang, ids, 4)
+        for w in range(8):
+            for b in range(4):
+                sel = off[w][ids[w] == b]
+                assert sorted(sel.tolist()) == list(range(len(sel)))
+
+    def test_with_valid_mask(self):
+        ids = rand_ids(4, 8, seed=6)
+        valid = np.random.default_rng(7).random((4, 32)) < 0.4
+        gang = WarpGang(4)
+        off = warp_offsets(gang, ids, 8, valid)
+        assert (off == oracle_offsets(ids, 8, valid)).all()
+
+
+class TestMergedAndConsistency:
+    def test_merged_equals_separate(self):
+        ids = rand_ids(4, 16, seed=8)
+        g1, g2, g3 = WarpGang(4), WarpGang(4), WarpGang(4)
+        hist, off = warp_histogram_and_offsets(g1, ids, 16)
+        assert (hist == warp_histogram(g2, ids, 16)).all()
+        assert (off == warp_offsets(g3, ids, 16)).all()
+
+    def test_merged_shares_ballots(self):
+        ids = rand_ids(4, 16, seed=9)
+        c_merged = KernelCounters()
+        warp_histogram_and_offsets(WarpGang(4, c_merged), ids, 16)
+        c_h, c_o = KernelCounters(), KernelCounters()
+        warp_histogram(WarpGang(4, c_h), ids, 16)
+        warp_offsets(WarpGang(4, c_o), ids, 16)
+        assert c_merged.warp_instructions < c_h.warp_instructions + c_o.warp_instructions
+
+    def test_instruction_count_scales_with_log_m(self):
+        ids2 = rand_ids(16, 2, seed=11)
+        ids32 = rand_ids(16, 32, seed=12)
+        c2, c32 = KernelCounters(), KernelCounters()
+        warp_histogram(WarpGang(16, c2), ids2, 2)
+        warp_histogram(WarpGang(16, c32), ids32, 32)
+        assert c32.warp_instructions > 2 * c2.warp_instructions
+
+    @pytest.mark.parametrize("m", [33, 64, 100, 1000])
+    def test_arithmetic_path_matches_oracle(self, m):
+        ids = rand_ids(4, m, seed=m)
+        gang = WarpGang(4)
+        hist, off = warp_histogram_and_offsets(gang, ids, m)
+        assert (hist == oracle_histogram(ids, m)).all()
+        assert (off == oracle_offsets(ids, m)).all()
+
+    def test_bitmap_and_arithmetic_agree(self):
+        """The fast path used for m > 32 must be bit-identical to the
+        literal ballot algorithm on the overlap domain (m <= 32)."""
+        for m in (2, 5, 17, 32):
+            ids = rand_ids(8, m, seed=m + 40)
+            valid = np.random.default_rng(m).random((8, 32)) < 0.8
+            h1, o1 = _bitmap_paths(WarpGang(8), ids, m, valid, True, True)
+            h2, o2 = _arithmetic_paths(WarpGang(8), ids, m, valid, True, True)
+            assert (h1 == h2).all() and (o1 == o2).all()
+
+    def test_large_m_charges_scaled_groups(self):
+        ids64 = rand_ids(16, 64, seed=50)
+        ids33 = rand_ids(16, 33, seed=51)
+        c64, c33 = KernelCounters(), KernelCounters()
+        warp_histogram(WarpGang(16, c64), ids64, 64)
+        warp_histogram(WarpGang(16, c33), ids33, 33)
+        assert c64.warp_instructions == c33.warp_instructions  # both 2 groups, 6 rounds
+
+    @given(st.integers(1, 32), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40)
+    def test_property_histogram_offsets_consistent(self, m, seed):
+        ids = rand_ids(3, m, seed=seed)
+        gang = WarpGang(3)
+        hist, off = warp_histogram_and_offsets(gang, ids, m)
+        # max offset within a bucket == count - 1
+        for w in range(3):
+            for b in range(m):
+                cnt = int(hist[w, b])
+                if cnt:
+                    assert int(off[w][ids[w] == b].max()) == cnt - 1

@@ -1,0 +1,80 @@
+"""Tests for the block-wide bitonic sorter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simt import Device, K40C
+from repro.simt.bits import ilog2_ceil
+from repro.primitives.block_sort import block_bitonic_sort
+
+
+def run_sort(keys, values=None):
+    dev = Device(K40C)
+    with dev.kernel("sort:bitonic", warps_per_block=8) as k:
+        out = block_bitonic_sort(k, keys, values)
+    return out, dev
+
+
+class TestBitonicSort:
+    def test_sorts_each_block(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 1000, (10, 256))
+        (out, _), _ = run_sort(keys)
+        assert (out == np.sort(keys, axis=1)).all()
+
+    @pytest.mark.parametrize("tile", [1, 2, 3, 31, 32, 33, 100, 256, 512])
+    def test_non_power_of_two_tiles(self, tile):
+        rng = np.random.default_rng(tile)
+        keys = rng.integers(0, 50, (4, tile))
+        (out, _), _ = run_sort(keys)
+        assert (out == np.sort(keys, axis=1)).all()
+
+    def test_values_follow_keys(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 100, (6, 128))
+        values = rng.integers(0, 2**31, (6, 128))
+        (ok, ov), _ = run_sort(keys, values)
+        # every (key, value) pair from the input must appear in the output
+        for b in range(6):
+            got = sorted(zip(ok[b].tolist(), ov[b].tolist()))
+            exp = sorted(zip(keys[b].tolist(), values[b].tolist()))
+            assert got == exp
+
+    def test_duplicate_keys_keep_distinct_values(self):
+        keys = np.zeros((2, 64), dtype=np.int64)  # all equal
+        values = np.arange(128).reshape(2, 64)
+        (_, ov), _ = run_sort(keys, values)
+        for b in range(2):
+            assert sorted(ov[b].tolist()) == values[b].tolist()
+
+    @given(st.lists(st.integers(0, 2**31), min_size=1, max_size=300),
+           st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_property(self, row, _seed):
+        keys = np.array([row])
+        (out, _), _ = run_sort(keys)
+        assert out[0].tolist() == sorted(row)
+
+    def test_stage_count(self):
+        keys = np.zeros((1, 256), dtype=np.int64)
+        (_, _), dev = run_sort(keys)
+        rec = dev.timeline.records[0]
+        lt = ilog2_ceil(256)
+        assert rec.counters.extra["bitonic_stages"] == lt * (lt + 1) // 2
+
+    def test_cost_scales_with_blocks(self):
+        rng = np.random.default_rng(2)
+        (_, _), d1 = run_sort(rng.integers(0, 9, (2, 256)))
+        (_, _), d8 = run_sort(rng.integers(0, 9, (16, 256)))
+        c1 = d1.timeline.records[0].counters.shared_accesses
+        c8 = d8.timeline.records[0].counters.shared_accesses
+        assert c8 == 8 * c1
+
+    def test_validation(self):
+        dev = Device(K40C)
+        with dev.kernel("sort:x") as k:
+            with pytest.raises(ValueError):
+                block_bitonic_sort(k, np.zeros(8))
+            with pytest.raises(ValueError):
+                block_bitonic_sort(k, np.zeros((2, 8)), np.zeros((2, 9)))

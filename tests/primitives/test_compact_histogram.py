@@ -1,0 +1,161 @@
+"""Tests for compaction, split, histogram, and block multiscan primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simt import Device, K40C
+from repro.primitives import (
+    compact,
+    split_by_flag,
+    histogram_atomic,
+    histogram_per_thread,
+    exact_counts,
+    block_multireduce,
+    block_multiscan,
+)
+
+
+class TestCompact:
+    def test_basic(self):
+        dev = Device(K40C)
+        x = np.arange(10)
+        out = compact(dev, x, x % 2)
+        assert out.tolist() == [1, 3, 5, 7, 9]
+
+    def test_preserves_order(self):
+        dev = Device(K40C)
+        x = np.array([5, 3, 8, 3, 1])
+        out = compact(dev, x, np.array([1, 0, 1, 1, 0]))
+        assert out.tolist() == [5, 8, 3]
+
+    def test_empty(self):
+        dev = Device(K40C)
+        assert compact(dev, np.array([]), np.array([])).size == 0
+
+    def test_none_kept(self):
+        dev = Device(K40C)
+        assert compact(dev, np.arange(5), np.zeros(5)).size == 0
+
+    def test_shape_mismatch(self):
+        dev = Device(K40C)
+        with pytest.raises(ValueError):
+            compact(dev, np.arange(5), np.zeros(4))
+
+    @given(st.lists(st.tuples(st.integers(0, 100), st.booleans()), max_size=200))
+    @settings(max_examples=30)
+    def test_matches_python_filter(self, pairs):
+        dev = Device(K40C)
+        vals = np.array([p[0] for p in pairs], dtype=np.int64)
+        flags = np.array([p[1] for p in pairs], dtype=np.int64)
+        out = compact(dev, vals, flags)
+        assert out.tolist() == [v for v, f in pairs if f]
+
+
+class TestSplit:
+    def test_basic(self):
+        dev = Device(K40C)
+        x = np.array([4, 7, 2, 9, 1])
+        out, boundary = split_by_flag(dev, x, x > 3)
+        assert boundary == 2
+        assert out.tolist() == [2, 1, 4, 7, 9]
+
+    def test_stability_both_sides(self):
+        dev = Device(K40C)
+        x = np.array([10, 1, 20, 2, 30, 3])
+        out, boundary = split_by_flag(dev, x, x >= 10)
+        assert out[:boundary].tolist() == [1, 2, 3]
+        assert out[boundary:].tolist() == [10, 20, 30]
+
+    def test_all_one_side(self):
+        dev = Device(K40C)
+        x = np.arange(8)
+        out, b = split_by_flag(dev, x, np.zeros(8))
+        assert b == 8 and out.tolist() == list(range(8))
+        out, b = split_by_flag(dev, x, np.ones(8))
+        assert b == 0 and out.tolist() == list(range(8))
+
+    @given(st.lists(st.integers(0, 1000), max_size=300), st.integers(0, 1000))
+    @settings(max_examples=30)
+    def test_split_property(self, values, pivot):
+        dev = Device(K40C)
+        x = np.array(values, dtype=np.int64)
+        out, b = split_by_flag(dev, x, x > pivot)
+        assert out[:b].tolist() == [v for v in values if v <= pivot]
+        assert out[b:].tolist() == [v for v in values if v > pivot]
+
+
+class TestHistogram:
+    @pytest.mark.parametrize("fn", [histogram_atomic, histogram_per_thread])
+    def test_matches_bincount(self, fn):
+        dev = Device(K40C)
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, 8, size=5000)
+        counts = fn(dev, ids, 8)
+        assert (counts == np.bincount(ids, minlength=8)).all()
+
+    def test_exact_counts_validates_range(self):
+        with pytest.raises(ValueError):
+            exact_counts(np.array([0, 9]), 4)
+
+    def test_atomic_contention_grows_with_fewer_buckets(self):
+        """Few buckets -> more intra-warp conflicts -> more atomic replays."""
+        rng = np.random.default_rng(1)
+        ids_few = rng.integers(0, 2, size=1 << 14)
+        ids_many = rng.integers(0, 32, size=1 << 14)
+        dev_few, dev_many = Device(K40C), Device(K40C)
+        histogram_atomic(dev_few, ids_few, 2)
+        histogram_atomic(dev_many, ids_many, 32)
+        atomics_few = dev_few.timeline.records[0].counters.atomic_ops
+        atomics_many = dev_many.timeline.records[0].counters.atomic_ops
+        assert atomics_few > 2 * atomics_many
+
+    def test_per_thread_items_validated(self):
+        dev = Device(K40C)
+        with pytest.raises(ValueError):
+            histogram_per_thread(dev, np.zeros(10, dtype=np.int64), 2, items_per_thread=0)
+
+
+class TestBlockMultiOps:
+    def _kernel(self):
+        dev = Device(K40C)
+        return dev, dev.kernel("postscan:multi", warps_per_block=8)
+
+    def test_multireduce_matches_sum(self):
+        dev, kctx = self._kernel()
+        rng = np.random.default_rng(2)
+        h2 = rng.integers(0, 10, size=(6, 8, 4))
+        with kctx as k:
+            out = block_multireduce(k, h2)
+        assert (out == h2.sum(axis=2)).all()
+        assert dev.timeline.records[0].counters.shared_accesses > 0
+
+    def test_multiscan_matches_cumsum(self):
+        dev, kctx = self._kernel()
+        rng = np.random.default_rng(3)
+        h2 = rng.integers(0, 10, size=(5, 16, 8))
+        with kctx as k:
+            out = block_multiscan(k, h2)
+        expected = np.cumsum(h2, axis=2) - h2
+        assert (out == expected).all()
+
+    def test_multiscan_first_column_zero(self):
+        dev, kctx = self._kernel()
+        with kctx as k:
+            out = block_multiscan(k, np.ones((2, 4, 8), dtype=np.int64))
+        assert (out[:, :, 0] == 0).all()
+        assert (out[:, :, 7] == 7).all()
+
+    def test_rejects_bad_rank(self):
+        _, kctx = self._kernel()
+        with kctx as k:
+            with pytest.raises(ValueError):
+                block_multireduce(k, np.zeros((4, 8)))
+            with pytest.raises(ValueError):
+                block_multiscan(k, np.zeros(8))
+
+    def test_shared_alloc_recorded(self):
+        dev, kctx = self._kernel()
+        with kctx as k:
+            block_multiscan(k, np.ones((2, 32, 8), dtype=np.int64))
+        assert dev.timeline.records[0].counters.shared_bytes_per_block == 32 * 8 * 4

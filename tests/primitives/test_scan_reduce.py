@@ -1,0 +1,92 @@
+"""Tests for device-wide scan and reduce primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simt import Device, K40C
+from repro.primitives import (
+    device_exclusive_scan,
+    device_inclusive_scan,
+    device_reduce_sum,
+    device_reduce_max,
+)
+
+
+class TestDeviceScan:
+    def test_exclusive_matches_numpy(self):
+        dev = Device(K40C)
+        x = np.arange(1, 101)
+        out = device_exclusive_scan(dev, x)
+        expected = np.concatenate([[0], np.cumsum(x)[:-1]])
+        assert (out == expected).all()
+
+    def test_inclusive_matches_numpy(self):
+        dev = Device(K40C)
+        x = np.arange(1, 101)
+        assert (device_inclusive_scan(dev, x) == np.cumsum(x)).all()
+
+    def test_empty_input(self):
+        dev = Device(K40C)
+        assert device_exclusive_scan(dev, np.array([], dtype=np.int64)).size == 0
+
+    def test_single_element(self):
+        dev = Device(K40C)
+        out = device_exclusive_scan(dev, np.array([42]))
+        assert out.tolist() == [0]
+
+    def test_rejects_2d(self):
+        dev = Device(K40C)
+        with pytest.raises(ValueError):
+            device_exclusive_scan(dev, np.zeros((2, 2)))
+
+    def test_records_library_kernel(self):
+        dev = Device(K40C)
+        device_exclusive_scan(dev, np.ones(1000), stage="scan")
+        rec = dev.timeline.records[-1]
+        assert rec.stage == "scan"
+        assert rec.counters.is_library
+        assert rec.counters.global_read_bytes_useful >= 4000
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=0, max_size=500))
+    @settings(max_examples=30)
+    def test_scan_property(self, values):
+        dev = Device(K40C)
+        x = np.array(values, dtype=np.int64)
+        out = device_exclusive_scan(dev, x)
+        assert out.tolist() == [sum(values[:i]) for i in range(len(values))]
+
+    def test_traffic_scales_with_n(self):
+        dev = Device(K40C)
+        device_exclusive_scan(dev, np.ones(1 << 16))
+        small = dev.timeline.records[-1].total_ms
+        device_exclusive_scan(dev, np.ones(1 << 20))
+        big = dev.timeline.records[-1].total_ms
+        launch = K40C.kernel_launch_us * 1e-3
+        assert (big - launch) == pytest.approx((small - launch) * 16, rel=0.05)
+
+    def test_no_int32_overflow(self):
+        dev = Device(K40C)
+        x = np.full(10, 2**31 - 1, dtype=np.int64)
+        out = device_inclusive_scan(dev, x)
+        assert int(out[-1]) == 10 * (2**31 - 1)
+
+
+class TestDeviceReduce:
+    def test_sum(self):
+        dev = Device(K40C)
+        assert device_reduce_sum(dev, np.arange(100)) == 4950
+
+    def test_max(self):
+        dev = Device(K40C)
+        assert device_reduce_max(dev, np.array([3, 9, 1])) == 9
+
+    def test_empty(self):
+        dev = Device(K40C)
+        assert device_reduce_sum(dev, np.array([])) == 0
+        assert device_reduce_max(dev, np.array([])) == 0
+
+    def test_rejects_2d(self):
+        dev = Device(K40C)
+        with pytest.raises(ValueError):
+            device_reduce_sum(dev, np.zeros((2, 2)))

@@ -1,0 +1,108 @@
+"""Tests for segmented scan/reduce."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simt import Device, K40C
+from repro.primitives import segmented_exclusive_scan, segmented_reduce
+
+
+def fresh():
+    return Device(K40C)
+
+
+def starts_from_lengths(lengths):
+    starts = np.zeros(len(lengths) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=starts[1:])
+    return starts
+
+
+class TestSegmentedScan:
+    def test_basic(self):
+        vals = np.array([1, 2, 3, 4, 5, 6])
+        starts = starts_from_lengths([3, 3])
+        out = segmented_exclusive_scan(fresh(), vals, starts)
+        assert out.tolist() == [0, 1, 3, 0, 4, 9]
+
+    def test_single_segment_matches_plain_scan(self):
+        vals = np.arange(100)
+        out = segmented_exclusive_scan(fresh(), vals, np.array([0, 100]))
+        expected = np.concatenate([[0], np.cumsum(vals)[:-1]])
+        assert (out == expected).all()
+
+    def test_empty_segments(self):
+        vals = np.array([5, 7])
+        starts = starts_from_lengths([0, 1, 0, 1, 0])
+        out = segmented_exclusive_scan(fresh(), vals, starts)
+        assert out.tolist() == [0, 0]
+
+    def test_empty_input(self):
+        out = segmented_exclusive_scan(fresh(), np.array([]), np.array([0]))
+        assert out.size == 0
+
+    @given(st.lists(st.lists(st.integers(0, 100), max_size=20), max_size=20))
+    @settings(max_examples=40)
+    def test_property_per_segment(self, segments):
+        vals = np.array([v for seg in segments for v in seg], dtype=np.int64)
+        starts = starts_from_lengths([len(s) for s in segments])
+        out = segmented_exclusive_scan(fresh(), vals, starts)
+        expected = []
+        for seg in segments:
+            acc = 0
+            for v in seg:
+                expected.append(acc)
+                acc += v
+        assert out.tolist() == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            segmented_exclusive_scan(fresh(), np.arange(4), np.array([0, 3]))
+        with pytest.raises(ValueError):
+            segmented_exclusive_scan(fresh(), np.arange(4), np.array([1, 4]))
+        with pytest.raises(ValueError):
+            segmented_exclusive_scan(fresh(), np.arange(4), np.array([0, 3, 2, 4]))
+        with pytest.raises(ValueError):
+            segmented_exclusive_scan(fresh(), np.zeros((2, 2)), np.array([0, 4]))
+
+    def test_cost_recorded(self):
+        dev = fresh()
+        segmented_exclusive_scan(dev, np.ones(1 << 16), np.array([0, 1 << 16]))
+        rec = dev.timeline.records[0]
+        assert rec.counters.is_library
+        assert rec.counters.global_read_bytes_useful >= 4 << 16
+
+
+class TestSegmentedReduce:
+    def test_basic(self):
+        vals = np.array([1, 2, 3, 4, 5])
+        starts = starts_from_lengths([2, 3])
+        out = segmented_reduce(fresh(), vals, starts)
+        assert out.tolist() == [3, 12]
+
+    def test_empty_segments_zero(self):
+        vals = np.array([10])
+        starts = starts_from_lengths([0, 1, 0])
+        assert segmented_reduce(fresh(), vals, starts).tolist() == [0, 10, 0]
+
+    def test_no_segments(self):
+        assert segmented_reduce(fresh(), np.array([]), np.array([0])).size == 0
+
+    @given(st.lists(st.lists(st.integers(-50, 50), max_size=15), max_size=15))
+    @settings(max_examples=40)
+    def test_property_sums(self, segments):
+        vals = np.array([v for seg in segments for v in seg], dtype=np.int64)
+        starts = starts_from_lengths([len(s) for s in segments])
+        out = segmented_reduce(fresh(), vals, starts)
+        assert out.tolist() == [sum(s) for s in segments]
+
+    def test_consistent_with_scan(self):
+        rng = np.random.default_rng(0)
+        vals = rng.integers(0, 100, 500)
+        starts = starts_from_lengths([100, 250, 0, 150])
+        scan = segmented_exclusive_scan(fresh(), vals, starts)
+        sums = segmented_reduce(fresh(), vals, starts)
+        for i in range(4):
+            lo, hi = starts[i], starts[i + 1]
+            if hi > lo:
+                assert sums[i] == scan[hi - 1] + vals[hi - 1]

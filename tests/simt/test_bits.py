@@ -1,0 +1,99 @@
+"""Unit tests for vectorized bit utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simt import bits
+
+
+class TestPopcount:
+    def test_known_values(self):
+        x = np.array([0, 1, 3, 0xFF, 0xFFFFFFFF, 0x80000000], dtype=np.uint32)
+        expected = [0, 1, 2, 8, 32, 1]
+        assert bits.popcount32(x).tolist() == expected
+
+    def test_popcount64_known(self):
+        x = np.array([0, 1, 0xFFFFFFFFFFFFFFFF, 1 << 63], dtype=np.uint64)
+        assert bits.popcount64(x).tolist() == [0, 1, 64, 1]
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=64))
+    def test_matches_python_bitcount(self, values):
+        x = np.array(values, dtype=np.uint32)
+        expected = [v.bit_count() for v in values]
+        assert bits.popcount32(x).tolist() == expected
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), min_size=1, max_size=64))
+    def test_popcount64_matches_python(self, values):
+        x = np.array(values, dtype=np.uint64)
+        expected = [v.bit_count() for v in values]
+        assert bits.popcount64(x).tolist() == expected
+
+    def test_swar_fallback_matches(self, monkeypatch):
+        monkeypatch.setattr(bits, "_HAS_BITWISE_COUNT", False)
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2**32, size=1000, dtype=np.uint32)
+        expected = [int(v).bit_count() for v in x]
+        assert bits.popcount32(x).tolist() == expected
+
+    def test_shape_preserved(self):
+        x = np.zeros((4, 32), dtype=np.uint32)
+        assert bits.popcount32(x).shape == (4, 32)
+
+
+class TestLaneMasks:
+    def test_lanemask_lt(self):
+        lanes = np.arange(32)
+        masks = bits.lanemask_lt(lanes)
+        for i in range(32):
+            assert int(masks[i]) == (1 << i) - 1
+
+    def test_lanemask_le(self):
+        lanes = np.arange(32)
+        masks = bits.lanemask_le(lanes)
+        for i in range(32):
+            assert int(masks[i]) == (1 << (i + 1)) - 1
+
+    def test_lane31_le_is_full(self):
+        assert int(bits.lanemask_le(np.array([31]))[0]) == 0xFFFFFFFF
+
+
+class TestFfs:
+    def test_zero(self):
+        assert bits.ffs32(np.array([0], dtype=np.uint32)).tolist() == [0]
+
+    def test_powers_of_two(self):
+        x = np.array([1 << i for i in range(32)], dtype=np.uint32)
+        assert bits.ffs32(x).tolist() == list(range(1, 33))
+
+    @given(st.integers(min_value=1, max_value=2**32 - 1))
+    def test_matches_python(self, v):
+        expected = (v & -v).bit_length()
+        assert int(bits.ffs32(np.array([v], dtype=np.uint32))[0]) == expected
+
+
+class TestBitReverse:
+    def test_known(self):
+        assert int(bits.bit_reverse32(np.array([1], dtype=np.uint32))[0]) == 0x80000000
+        assert int(bits.bit_reverse32(np.array([0x80000000], dtype=np.uint32))[0]) == 1
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_involution(self, v):
+        x = np.array([v], dtype=np.uint32)
+        assert int(bits.bit_reverse32(bits.bit_reverse32(x))[0]) == v
+
+
+class TestIntHelpers:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 2), (3, 4), (31, 32), (33, 64)])
+    def test_next_pow2(self, n, expected):
+        assert bits.next_pow2(n) == expected
+
+    @pytest.mark.parametrize("n,expected", [(1, 0), (2, 1), (3, 2), (4, 2), (32, 5), (33, 6)])
+    def test_ilog2_ceil(self, n, expected):
+        assert bits.ilog2_ceil(n) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bits.next_pow2(0)
+        with pytest.raises(ValueError):
+            bits.ilog2_ceil(0)

@@ -1,0 +1,192 @@
+"""Tests for Device/Timeline bookkeeping and the cost model."""
+
+import numpy as np
+import pytest
+
+from repro.simt import (
+    CostModel,
+    Device,
+    DeviceSpec,
+    K40C,
+    GTX750TI,
+    KernelCounters,
+    LaunchConfigError,
+)
+
+
+class TestDevice:
+    def test_kernel_context_records(self):
+        dev = Device(K40C)
+        with dev.kernel("prescan:histogram") as k:
+            k.gmem.read_streaming(1 << 20, 4)
+        assert len(dev.timeline.records) == 1
+        rec = dev.timeline.records[0]
+        assert rec.name == "prescan:histogram"
+        assert rec.stage == "prescan"
+        assert rec.total_ms > 0
+
+    def test_exception_discards_record(self):
+        dev = Device(K40C)
+        with pytest.raises(RuntimeError):
+            with dev.kernel("x"):
+                raise RuntimeError("boom")
+        assert dev.timeline.records == []
+
+    def test_stage_aggregation(self):
+        dev = Device(K40C)
+        for name in ("prescan:a", "scan:b", "postscan:c", "postscan:d"):
+            with dev.kernel(name) as k:
+                k.gmem.read_streaming(1024, 4)
+        stages = dev.timeline.stages()
+        assert list(stages) == ["prescan", "scan", "postscan"]
+        assert dev.timeline.stage_ms("postscan") == pytest.approx(
+            stages["postscan"]
+        )
+        assert dev.total_ms == pytest.approx(sum(stages.values()))
+
+    def test_reset(self):
+        dev = Device(K40C)
+        with dev.kernel("k") as k:
+            k.gmem.read_streaming(10, 4)
+        dev.reset()
+        assert dev.total_ms == 0
+
+    def test_gang_counts_into_kernel(self):
+        dev = Device(K40C)
+        with dev.kernel("k") as k:
+            g = k.gang(10)
+            g.ballot(np.zeros((10, 32)))
+        assert dev.timeline.records[0].counters.warp_instructions == 10
+
+    def test_invalid_warps_per_block(self):
+        dev = Device(K40C)
+        with pytest.raises(LaunchConfigError):
+            dev.kernel("k", warps_per_block=0)
+
+    def test_warps_for(self):
+        assert Device.warps_for(32) == 1
+        assert Device.warps_for(33) == 2
+        assert Device.warps_for(0) == 1
+        assert Device.warps_for(256, per_lane=4) == 2
+
+
+class TestCostModel:
+    def test_more_traffic_costs_more(self):
+        m = CostModel(K40C)
+        small = KernelCounters()
+        small.global_read_bytes_useful = 1 << 20
+        small.global_read_sectors = (1 << 20) // 32
+        big = small.copy()
+        big.global_read_bytes_useful *= 4
+        big.global_read_sectors *= 4
+        assert m.kernel_time_ms(big) > m.kernel_time_ms(small)
+
+    def test_uncoalesced_costs_more_than_coalesced(self):
+        m = CostModel(K40C)
+        coal = KernelCounters()
+        coal.global_write_bytes_useful = 1 << 22
+        coal.global_write_sectors = (1 << 22) // 32
+        scat = coal.copy()
+        scat.global_write_sectors = 1 << 20  # one 32B sector per 4B element
+        assert m.kernel_time_ms(scat) > m.kernel_time_ms(coal)
+
+    def test_streaming_time_matches_bandwidth(self):
+        m = CostModel(K40C)
+        c = KernelCounters()
+        n_bytes = 288_000_000  # 1 ms at peak
+        c.global_read_bytes_useful = n_bytes
+        c.global_read_sectors = n_bytes // 32
+        t = m.kernel_time(c)
+        assert t.mem_ms == pytest.approx(1.0 / K40C.streaming_efficiency, rel=0.01)
+
+    def test_library_kernels_run_faster(self):
+        c = KernelCounters(is_library=True)
+        c.global_read_bytes_useful = 1 << 26
+        c.global_read_sectors = (1 << 26) // 32
+        c2 = c.copy()
+        c2.is_library = False
+        m = CostModel(K40C)
+        assert m.kernel_time_ms(c) < m.kernel_time_ms(c2)
+
+    def test_launch_overhead_floor(self):
+        m = CostModel(K40C)
+        t = m.kernel_time_ms(KernelCounters())
+        assert t == pytest.approx(K40C.kernel_launch_us * 1e-3)
+
+    def test_occupancy_full_without_shared(self):
+        m = CostModel(K40C)
+        assert m.occupancy(KernelCounters()) == 1.0
+
+    def test_occupancy_degrades_with_big_shared(self):
+        m = CostModel(K40C)
+        c = KernelCounters(warps_per_block=8)
+        c.shared_bytes_per_block = 24 * 1024  # 2 blocks/SM -> 16 warps
+        assert m.occupancy(c) == pytest.approx(16 / 48)
+        c.shared_bytes_per_block = 48 * 1024
+        assert m.occupancy(c) == pytest.approx(8 / 48)
+        c.shared_bytes_per_block = 100 * 1024  # over capacity: 1 block
+        assert m.occupancy(c) == pytest.approx(8 / 48)
+
+    def test_occupancy_degrades_with_few_warps_per_block(self):
+        """Paper Section 6: NW=2 blocks underfill the SM's warp budget."""
+        m = CostModel(K40C)
+        assert m.occupancy(KernelCounters(warps_per_block=2)) == pytest.approx(32 / 48)
+        assert m.occupancy(KernelCounters(warps_per_block=8)) == 1.0
+
+    def test_maxwell_penalizes_scatter_more(self):
+        c = KernelCounters()
+        c.global_write_bytes_useful = 1 << 22
+        c.global_write_sectors = 1 << 20  # heavily scattered
+        base = KernelCounters()
+        base.global_write_bytes_useful = 1 << 22
+        base.global_write_sectors = (1 << 22) // 32
+        # ratio scattered/coalesced is worse on the Maxwell profile
+        k40 = CostModel(K40C)
+        mx = CostModel(GTX750TI)
+        ratio_k40 = k40.kernel_time_ms(c) / k40.kernel_time_ms(base)
+        ratio_mx = mx.kernel_time_ms(c) / mx.kernel_time_ms(base)
+        assert ratio_mx > ratio_k40
+
+
+class TestTimelineScaling:
+    def test_scaled_counters(self):
+        c = KernelCounters()
+        c.global_read_bytes_useful = 100
+        c.global_read_sectors = 10
+        c.warp_instructions = 50
+        c.shared_bytes_per_block = 4096
+        s = c.scaled(8)
+        assert s.global_read_bytes_useful == 800
+        assert s.warp_instructions == 400
+        assert s.shared_bytes_per_block == 4096  # geometry does not scale
+
+    def test_scaled_timeline_near_linear(self):
+        dev = Device(K40C)
+        with dev.kernel("k") as k:
+            k.gmem.read_streaming(1 << 22, 4)
+            k.gmem.write_streaming(1 << 22, 4)
+        t1 = dev.total_ms
+        t8 = dev.timeline.scaled(8).total_ms
+        launch = K40C.kernel_launch_us * 1e-3
+        assert t8 - launch == pytest.approx((t1 - launch) * 8, rel=1e-6)
+
+    def test_merged(self):
+        dev = Device(K40C)
+        with dev.kernel("a") as k:
+            k.gmem.read_streaming(1024, 4)
+        other = Device(K40C)
+        with other.kernel("b") as k:
+            k.gmem.read_streaming(1024, 4)
+        merged = dev.timeline.merged(other.timeline)
+        assert [r.name for r in merged.records] == ["a", "b"]
+
+
+class TestDeviceSpec:
+    def test_replace(self):
+        spec = K40C.replace(dram_bandwidth_gbps=100.0)
+        assert spec.dram_bandwidth_gbps == 100.0
+        assert K40C.dram_bandwidth_gbps == 288.0
+
+    def test_effective_bandwidth(self):
+        assert K40C.effective_bandwidth_gbps == pytest.approx(288.0 * K40C.streaming_efficiency)
+        assert K40C.lib_bandwidth_gbps > K40C.effective_bandwidth_gbps

@@ -1,0 +1,104 @@
+"""Tests for the what-if device-profile builder and 64-bit key support."""
+
+import numpy as np
+import pytest
+
+from repro.multisplit import multisplit, CustomBuckets, RangeBuckets, check_multisplit
+from repro.simt import Device, K40C, GTX750TI
+from repro.simt.devices import make_device, TITAN_X_LIKE
+
+
+class TestMakeDevice:
+    def test_inherits_calibrated_constants(self):
+        d = make_device("x", dram_bandwidth_gbps=500, num_sms=30, clock_ghz=1.0)
+        assert d.streaming_efficiency == K40C.streaming_efficiency
+        assert d.overlap == K40C.overlap
+        assert d.dram_bandwidth_gbps == 500
+
+    def test_throughput_scales_with_sms_and_clock(self):
+        small = make_device("s", dram_bandwidth_gbps=100, num_sms=5, clock_ghz=1.0)
+        big = make_device("b", dram_bandwidth_gbps=100, num_sms=10, clock_ghz=1.0)
+        assert big.warp_throughput_ginst == pytest.approx(
+            2 * small.warp_throughput_ginst)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_device("x", dram_bandwidth_gbps=0, num_sms=5, clock_ghz=1.0)
+        with pytest.raises(ValueError):
+            make_device("x", dram_bandwidth_gbps=100, num_sms=0, clock_ghz=1.0)
+
+    def test_bigger_part_runs_faster(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 2**32, 1 << 18, dtype=np.uint32)
+        spec = RangeBuckets(8)
+        base = multisplit(keys, spec, method="warp", device=Device(GTX750TI))
+        titan = multisplit(keys, spec, method="warp", device=Device(TITAN_X_LIKE))
+        assert titan.simulated_ms < base.simulated_ms / 2
+
+    def test_maxwell_base(self):
+        d = make_device("m", dram_bandwidth_gbps=200, num_sms=10, clock_ghz=1.0,
+                        base=GTX750TI)
+        assert d.uncoalesced_sector_factor == GTX750TI.uncoalesced_sector_factor
+
+
+class Test64BitKeys:
+    def spec64(self, m=8):
+        return CustomBuckets(
+            lambda k: (np.asarray(k, dtype=np.uint64) >> np.uint64(61)).astype(np.uint32), m)
+
+    @pytest.mark.parametrize("method", ["direct", "warp", "block", "sparse_block"])
+    def test_contract(self, method):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 2**63, 5000, dtype=np.uint64)
+        values = rng.integers(0, 2**32, 5000, dtype=np.uint32)
+        spec = self.spec64()
+        res = multisplit(keys, spec, values=values, method=method)
+        check_multisplit(res, keys, spec, values)
+        assert res.keys.dtype == np.uint64
+
+    def test_traffic_priced_at_8_bytes(self):
+        rng = np.random.default_rng(2)
+        k64 = rng.integers(0, 2**63, 1 << 18, dtype=np.uint64)
+        k32 = (k64 >> np.uint64(32)).astype(np.uint32)
+        r64 = multisplit(k64, self.spec64(), method="warp")
+        r32 = multisplit(k32, CustomBuckets(
+            lambda k: (k >> np.uint32(29)).astype(np.uint32), 8), method="warp")
+        assert r64.simulated_ms > 1.35 * r32.simulated_ms
+
+    def test_rejects_other_widths(self):
+        with pytest.raises(ValueError, match="32- or 64-bit"):
+            multisplit(np.zeros(8, dtype=np.uint16), RangeBuckets(2), method="warp")
+
+
+class Test64BitRemainingMethods:
+    def test_reduced_bit_key_only_64(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 2**63, 3000, dtype=np.uint64)
+        spec = CustomBuckets(
+            lambda k: (np.asarray(k, dtype=np.uint64) >> np.uint64(61)).astype(np.uint32), 8)
+        res = multisplit(keys, spec, method="reduced_bit")
+        check_multisplit(res, keys, spec)
+        assert res.keys.dtype == np.uint64
+
+    def test_reduced_bit_kv_64_rejected(self):
+        keys = np.zeros(64, dtype=np.uint64)
+        vals = np.zeros(64, dtype=np.uint32)
+        with pytest.raises(ValueError, match="32-bit keys"):
+            multisplit(keys, CustomBuckets(lambda k: np.zeros(k.size, dtype=np.uint32), 2),
+                       values=vals, method="reduced_bit")
+
+    def test_scan_split_64(self):
+        rng = np.random.default_rng(4)
+        keys = rng.integers(0, 2**63, 2000, dtype=np.uint64)
+        spec = CustomBuckets(
+            lambda k: (np.asarray(k, dtype=np.uint64) >> np.uint64(62) & np.uint64(1)).astype(np.uint32), 2)
+        res = multisplit(keys, spec, method="scan_split")
+        check_multisplit(res, keys, spec)
+
+    def test_randomized_64(self):
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 2**63, 2000, dtype=np.uint64)
+        spec = CustomBuckets(
+            lambda k: (np.asarray(k, dtype=np.uint64) >> np.uint64(61)).astype(np.uint32), 8)
+        res = multisplit(keys, spec, method="randomized")
+        check_multisplit(res, keys, spec)

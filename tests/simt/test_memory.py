@@ -1,0 +1,201 @@
+"""Unit tests for the global/shared memory auditors."""
+
+import numpy as np
+import pytest
+
+from repro.simt import (
+    K40C,
+    KernelCounters,
+    GlobalMemoryAuditor,
+    SharedMemoryModel,
+    MemoryAuditError,
+    warp_sector_count,
+    warp_issue_runs,
+)
+
+
+def make_gmem():
+    c = KernelCounters()
+    return GlobalMemoryAuditor(c, K40C), c
+
+
+def make_smem():
+    c = KernelCounters()
+    return SharedMemoryModel(c, K40C), c
+
+
+class TestSectorCount:
+    def test_fully_coalesced_4byte(self):
+        # 32 lanes x 4B consecutive = 128B = 4 sectors of 32B
+        addr = np.arange(32).reshape(1, 32) * 4
+        assert warp_sector_count(addr, 32).tolist() == [4]
+
+    def test_single_address(self):
+        addr = np.zeros((1, 32), dtype=np.int64)
+        assert warp_sector_count(addr, 32).tolist() == [1]
+
+    def test_fully_scattered(self):
+        # stride of one sector per lane
+        addr = np.arange(32).reshape(1, 32) * 32
+        assert warp_sector_count(addr, 32).tolist() == [32]
+
+    def test_order_invariance(self):
+        rng = np.random.default_rng(1)
+        addr = rng.integers(0, 10_000, size=(8, 32)) * 4
+        shuffled = addr.copy()
+        for row in shuffled:
+            rng.shuffle(row)
+        assert (warp_sector_count(addr, 32) == warp_sector_count(shuffled, 32)).all()
+
+    def test_mask_excludes_lanes(self):
+        addr = np.arange(32).reshape(1, 32) * 32
+        active = np.zeros((1, 32), dtype=bool)
+        active[0, :3] = True
+        assert warp_sector_count(addr, 32, active).tolist() == [3]
+
+    def test_all_masked(self):
+        addr = np.arange(32).reshape(1, 32)
+        active = np.zeros((1, 32), dtype=bool)
+        assert warp_sector_count(addr, 32, active).tolist() == [0]
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(MemoryAuditError):
+            warp_sector_count(np.zeros((1, 16)), 32)
+
+
+class TestIssueRuns:
+    def test_ascending_one_segment(self):
+        addr = np.arange(32).reshape(1, 32) * 4  # all within one 128B segment
+        assert warp_issue_runs(addr, 128).tolist() == [1]
+
+    def test_alternating_segments(self):
+        # lanes alternate between two 128B segments -> 32 runs
+        addr = (np.arange(32) % 2).reshape(1, 32) * 128
+        assert warp_issue_runs(addr, 128).tolist() == [32]
+
+    def test_sorted_two_segments(self):
+        addr = np.sort((np.arange(32) % 2)).reshape(1, 32) * 128
+        assert warp_issue_runs(addr, 128).tolist() == [2]
+
+    def test_reordering_reduces_runs_not_sectors(self):
+        """The Warp-level-MS effect: same sector set, fewer issue runs."""
+        rng = np.random.default_rng(0)
+        addr = (rng.integers(0, 4, size=(16, 32)) * 128 + rng.integers(0, 32, size=(16, 32)) * 4)
+        ordered = np.sort(addr, axis=1)
+        assert (warp_sector_count(addr, 32) == warp_sector_count(ordered, 32)).all()
+        assert warp_issue_runs(ordered, 128).sum() <= warp_issue_runs(addr, 128).sum()
+
+    def test_mask_bridges_inactive_lanes(self):
+        # active lanes 0 and 2 share a segment; inactive lane 1 between them
+        addr = np.zeros((1, 32), dtype=np.int64)
+        active = np.zeros((1, 32), dtype=bool)
+        active[0, [0, 2]] = True
+        assert warp_issue_runs(addr, 128, active).tolist() == [1]
+
+    def test_mask_counts_active_boundaries(self):
+        addr = np.zeros((1, 32), dtype=np.int64)
+        addr[0, 2] = 1024
+        active = np.zeros((1, 32), dtype=bool)
+        active[0, [0, 2, 4]] = True  # seg 0, seg 8, seg 0 -> 3 runs
+        assert warp_issue_runs(addr, 128, active).tolist() == [3]
+
+
+class TestGlobalAuditor:
+    def test_streaming_read(self):
+        g, c = make_gmem()
+        g.read_streaming(1024, 4)
+        assert c.global_read_bytes_useful == 4096
+        assert c.global_read_sectors == 128
+        assert c.global_write_sectors == 0
+
+    def test_streaming_write(self):
+        g, c = make_gmem()
+        g.write_streaming(1000, 8)
+        assert c.global_write_bytes_useful == 8000
+        assert c.global_write_sectors == 250
+
+    def test_streaming_rounds_up_sectors(self):
+        g, c = make_gmem()
+        g.read_streaming(1, 4)
+        assert c.global_read_sectors == 1
+
+    def test_streaming_rejects_bad_args(self):
+        g, _ = make_gmem()
+        with pytest.raises(MemoryAuditError):
+            g.read_streaming(-1, 4)
+        with pytest.raises(MemoryAuditError):
+            g.write_streaming(10, 0)
+
+    def test_warp_scatter_counts(self):
+        g, c = make_gmem()
+        idx = np.arange(32).reshape(1, 32)  # coalesced 4B scatter
+        g.write_warp(idx, 4)
+        assert c.global_write_bytes_useful == 128
+        assert c.global_write_sectors == 4
+        assert c.global_issue_runs == 1
+
+    def test_warp_gather_masked(self):
+        g, c = make_gmem()
+        idx = np.arange(32).reshape(1, 32)
+        active = np.zeros((1, 32), dtype=bool)
+        active[0, :8] = True
+        g.read_warp(idx, 4, active)
+        assert c.global_read_bytes_useful == 32
+        assert c.global_read_sectors == 1
+
+    def test_atomics(self):
+        g, c = make_gmem()
+        g.atomic(7)
+        assert c.atomic_ops == 7
+
+    def test_mask_shape_mismatch(self):
+        g, _ = make_gmem()
+        with pytest.raises(MemoryAuditError):
+            g.read_warp(np.zeros((2, 32)), 4, np.zeros((1, 32), dtype=bool))
+
+
+class TestSharedModel:
+    def test_conflict_free(self):
+        s, c = make_smem()
+        addr = np.arange(32).reshape(1, 32)  # one word per bank
+        s.access(addr)
+        assert c.shared_accesses == 1
+
+    def test_broadcast_worst_case(self):
+        s, c = make_smem()
+        addr = np.zeros((1, 32), dtype=np.int64)  # all lanes -> bank 0
+        s.access(addr)
+        assert c.shared_accesses == 32
+
+    def test_two_way_conflict(self):
+        s, c = make_smem()
+        addr = (np.arange(32) % 16).reshape(1, 32)  # 2 lanes per bank
+        s.access(addr)
+        assert c.shared_accesses == 2
+
+    def test_stride_two(self):
+        s, c = make_smem()
+        addr = (np.arange(32) * 2).reshape(1, 32)  # stride-2: 2-way conflicts
+        s.access(addr)
+        assert c.shared_accesses == 2
+
+    def test_masked_access(self):
+        s, c = make_smem()
+        addr = np.zeros((1, 32), dtype=np.int64)
+        active = np.zeros((1, 32), dtype=bool)
+        active[0, :4] = True  # only 4 conflicting lanes
+        s.access(addr, active)
+        assert c.shared_accesses == 4
+
+    def test_coalesced_helper(self):
+        s, c = make_smem()
+        s.access_coalesced(10)
+        assert c.shared_accesses == 10
+
+    def test_alloc_records_max(self):
+        s, c = make_smem()
+        s.alloc(1024)
+        s.alloc(512)
+        assert c.shared_bytes_per_block == 1024
+        with pytest.raises(MemoryAuditError):
+            s.alloc(-1)

@@ -1,0 +1,126 @@
+"""Differential tests: the vectorized gang vs the scalar interpreter.
+
+Every warp intrinsic and both core warp algorithms must agree exactly
+between the fast vectorized path used everywhere and the literal
+lane-by-lane reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simt import WarpGang
+from repro.simt.reference import (
+    ScalarWarp,
+    scalar_warp_histogram,
+    scalar_warp_offsets,
+)
+from repro.multisplit.warp_ops import warp_histogram, warp_offsets
+
+lane_values = st.lists(st.integers(0, 2**32 - 1), min_size=32, max_size=32)
+lane_preds = st.lists(st.booleans(), min_size=32, max_size=32)
+
+
+class TestIntrinsicsDifferential:
+    @given(lane_preds)
+    @settings(max_examples=50)
+    def test_ballot(self, preds):
+        gang = WarpGang(1)
+        vec = int(gang.ballot(np.array([preds], dtype=np.int64))[0])
+        assert vec == ScalarWarp().ballot(preds)
+
+    @given(lane_values, st.integers(0, 31))
+    @settings(max_examples=50)
+    def test_shfl_scalar_src(self, values, src):
+        gang = WarpGang(1)
+        vec = gang.shfl(np.array([values], dtype=np.int64), src)[0].tolist()
+        assert vec == ScalarWarp().shfl(values, src)
+
+    @given(lane_values, st.lists(st.integers(0, 63), min_size=32, max_size=32))
+    @settings(max_examples=50)
+    def test_shfl_per_lane_src(self, values, srcs):
+        gang = WarpGang(1)
+        vec = gang.shfl(np.array([values], dtype=np.int64),
+                        np.array([srcs], dtype=np.int64))[0].tolist()
+        assert vec == ScalarWarp().shfl(values, srcs)
+
+    @given(lane_values, st.integers(0, 31))
+    @settings(max_examples=50)
+    def test_shfl_up_down(self, values, delta):
+        gang = WarpGang(1)
+        v = np.array([values], dtype=np.int64)
+        ref = ScalarWarp()
+        assert gang.shfl_up(v, delta)[0].tolist() == ref.shfl_up(values, delta)
+        assert gang.shfl_down(v, delta)[0].tolist() == ref.shfl_down(values, delta)
+
+    @given(lane_values, st.integers(0, 31))
+    @settings(max_examples=50)
+    def test_shfl_xor(self, values, mask):
+        gang = WarpGang(1)
+        v = np.array([values], dtype=np.int64)
+        assert gang.shfl_xor(v, mask)[0].tolist() == ScalarWarp().shfl_xor(values, mask)
+
+    @given(st.lists(st.integers(0, 1000), min_size=32, max_size=32))
+    @settings(max_examples=50)
+    def test_exclusive_scan(self, values):
+        gang = WarpGang(1)
+        vec = gang.exclusive_scan(np.array([values], dtype=np.int64))[0].tolist()
+        assert vec == ScalarWarp().exclusive_scan(values)
+
+    @given(st.lists(st.integers(0, 1000), min_size=32, max_size=32))
+    @settings(max_examples=50)
+    def test_reduce_sum(self, values):
+        gang = WarpGang(1)
+        assert int(gang.reduce_sum(np.array([values], dtype=np.int64))[0]) == sum(values)
+
+
+class TestWarpOpsDifferential:
+    @given(st.integers(1, 64), st.integers(0, 2**31), st.booleans())
+    @settings(max_examples=80)
+    def test_histogram_matches_scalar(self, m, seed, masked):
+        rng = np.random.default_rng(seed)
+        ids = rng.integers(0, m, size=(1, 32)).astype(np.uint32)
+        valid = rng.random((1, 32)) < 0.7 if masked else None
+        gang = WarpGang(1)
+        vec = warp_histogram(gang, ids, m, valid)[0].tolist()
+        ref = scalar_warp_histogram(
+            ids[0].tolist(), m, valid[0].tolist() if masked else None)
+        assert vec == ref
+
+    @given(st.integers(1, 64), st.integers(0, 2**31), st.booleans())
+    @settings(max_examples=80)
+    def test_offsets_match_scalar(self, m, seed, masked):
+        rng = np.random.default_rng(seed)
+        ids = rng.integers(0, m, size=(1, 32)).astype(np.uint32)
+        valid = rng.random((1, 32)) < 0.7 if masked else None
+        gang = WarpGang(1)
+        vec = warp_offsets(gang, ids, m, valid)[0].tolist()
+        ref = scalar_warp_offsets(
+            ids[0].tolist(), m, valid[0].tolist() if masked else None)
+        assert vec == ref
+
+
+class TestScalarWarpValidation:
+    def test_lane_count_checked(self):
+        with pytest.raises(ValueError):
+            ScalarWarp().ballot([1] * 31)
+        with pytest.raises(ValueError):
+            scalar_warp_histogram([0] * 31, 2)
+        with pytest.raises(ValueError):
+            scalar_warp_offsets([0] * 33, 2)
+
+    def test_delta_checked(self):
+        with pytest.raises(ValueError):
+            ScalarWarp().shfl_up(list(range(32)), 32)
+        with pytest.raises(ValueError):
+            ScalarWarp().shfl_xor(list(range(32)), -1)
+
+    def test_votes(self):
+        w = ScalarWarp()
+        assert w.all_sync([1] * 32)
+        assert not w.all_sync([1] * 31 + [0])
+        assert w.any_sync([0] * 31 + [1])
+        assert not w.any_sync([0] * 32)
+
+    def test_m_checked(self):
+        with pytest.raises(ValueError):
+            scalar_warp_histogram([0] * 32, 0)

@@ -1,0 +1,59 @@
+"""Tests for the ASCII timeline rendering."""
+
+import numpy as np
+
+from repro.multisplit import multisplit, RangeBuckets
+from repro.simt import Device, K40C
+from repro.simt.trace import ascii_gantt, stage_bars, _bar
+
+
+def make_timeline():
+    dev = Device(K40C)
+    keys = np.random.default_rng(0).integers(0, 2**32, 1 << 14, dtype=np.uint32)
+    multisplit(keys, RangeBuckets(4), method="warp", device=dev)
+    return dev.timeline
+
+
+class TestBar:
+    def test_empty_and_full(self):
+        assert _bar(0.0, 10) == " " * 10
+        assert _bar(1.0, 10) == "█" * 10
+        assert _bar(2.0, 10) == "█" * 10  # clamped
+
+    def test_partial_width_fixed(self):
+        for f in (0.1, 0.33, 0.77):
+            assert len(_bar(f, 20)) == 20
+
+
+class TestGantt:
+    def test_contains_all_kernels(self):
+        tl = make_timeline()
+        out = ascii_gantt(tl)
+        for r in tl.records:
+            assert r.name in out
+        assert "TOTAL" in out
+
+    def test_longest_kernel_has_full_bar(self):
+        tl = make_timeline()
+        out = ascii_gantt(tl, width=20)
+        longest = max(tl.records, key=lambda r: r.total_ms)
+        line = next(l for l in out.splitlines() if l.startswith(longest.name))
+        assert "█" * 20 in line
+
+    def test_empty_timeline(self):
+        from repro.simt.device import Timeline
+        assert "empty" in ascii_gantt(Timeline(K40C))
+
+
+class TestStageBars:
+    def test_shares_sum_to_total(self):
+        tl = make_timeline()
+        out = stage_bars(tl)
+        assert "prescan" in out and "postscan" in out
+        shares = [float(l.split("(")[1].rstrip("%)")) for l in out.splitlines()
+                  if "(" in l]
+        assert abs(sum(shares) - 100.0) < 0.5
+
+    def test_empty(self):
+        from repro.simt.device import Timeline
+        assert "empty" in stage_bars(Timeline(K40C))

@@ -1,0 +1,190 @@
+"""Unit tests for the vectorized warp gang against scalar CUDA semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simt import WarpGang, KernelCounters, IntrinsicError
+
+
+def make_gang(num_warps=3):
+    c = KernelCounters()
+    return WarpGang(num_warps, c), c
+
+
+class TestBallot:
+    def test_all_true(self):
+        g, _ = make_gang(2)
+        pred = np.ones((2, 32), dtype=np.int64)
+        assert g.ballot(pred).tolist() == [0xFFFFFFFF, 0xFFFFFFFF]
+
+    def test_all_false(self):
+        g, _ = make_gang(2)
+        assert g.ballot(np.zeros((2, 32))).tolist() == [0, 0]
+
+    def test_single_lane(self):
+        g, _ = make_gang(1)
+        pred = np.zeros((1, 32))
+        pred[0, 7] = 5  # any nonzero counts
+        assert int(g.ballot(pred)[0]) == 1 << 7
+
+    @given(st.lists(st.booleans(), min_size=32, max_size=32))
+    @settings(max_examples=50)
+    def test_matches_reference(self, lane_preds):
+        g, _ = make_gang(1)
+        pred = np.array([lane_preds], dtype=np.int64)
+        expected = sum(1 << i for i, p in enumerate(lane_preds) if p)
+        assert int(g.ballot(pred)[0]) == expected
+
+    def test_counts_instructions(self):
+        g, c = make_gang(5)
+        g.ballot(np.zeros((5, 32)))
+        assert c.warp_instructions == 5
+
+    def test_shape_check(self):
+        g, _ = make_gang(2)
+        with pytest.raises(IntrinsicError):
+            g.ballot(np.zeros((2, 16)))
+
+
+class TestVotes:
+    def test_all_any(self):
+        g, _ = make_gang(1)
+        ones = np.ones((1, 32))
+        assert bool(g.all_sync(ones)[0]) and bool(g.any_sync(ones)[0])
+        ones[0, 3] = 0
+        assert not bool(g.all_sync(ones)[0]) and bool(g.any_sync(ones)[0])
+        assert not bool(g.any_sync(np.zeros((1, 32)))[0])
+
+
+class TestShuffles:
+    def test_shfl_scalar_source(self):
+        g, _ = make_gang(2)
+        v = np.arange(64).reshape(2, 32)
+        out = g.shfl(v, 5)
+        assert (out[0] == 5).all() and (out[1] == 37).all()
+
+    def test_shfl_per_warp_source(self):
+        g, _ = make_gang(2)
+        v = np.arange(64).reshape(2, 32)
+        out = g.shfl(v, np.array([0, 31]))
+        assert (out[0] == 0).all() and (out[1] == 63).all()
+
+    def test_shfl_per_lane_source(self):
+        g, _ = make_gang(1)
+        v = np.arange(32).reshape(1, 32)
+        src = np.full((1, 32), 0)
+        src[0, :16] = 31
+        out = g.shfl(v, src)
+        assert (out[0, :16] == 31).all() and (out[0, 16:] == 0).all()
+
+    def test_shfl_source_wraps_mod_32(self):
+        g, _ = make_gang(1)
+        v = np.arange(32).reshape(1, 32)
+        assert (g.shfl(v, 33) == g.shfl(v, 1)).all()
+
+    def test_shfl_up_keeps_low_lanes(self):
+        g, _ = make_gang(1)
+        v = np.arange(32).reshape(1, 32)
+        out = g.shfl_up(v, 3)
+        assert out[0, :3].tolist() == [0, 1, 2]  # own values kept
+        assert out[0, 3:].tolist() == list(range(29))
+
+    def test_shfl_down_keeps_high_lanes(self):
+        g, _ = make_gang(1)
+        v = np.arange(32).reshape(1, 32)
+        out = g.shfl_down(v, 4)
+        assert out[0, :28].tolist() == list(range(4, 32))
+        assert out[0, 28:].tolist() == [28, 29, 30, 31]
+
+    def test_shfl_zero_delta_identity(self):
+        g, _ = make_gang(1)
+        v = np.arange(32).reshape(1, 32)
+        assert (g.shfl_up(v, 0) == v).all()
+        assert (g.shfl_down(v, 0) == v).all()
+
+    def test_shfl_xor(self):
+        g, _ = make_gang(1)
+        v = np.arange(32).reshape(1, 32)
+        out = g.shfl_xor(v, 1)
+        assert out[0, 0] == 1 and out[0, 1] == 0 and out[0, 30] == 31
+
+    def test_delta_range_checked(self):
+        g, _ = make_gang(1)
+        v = np.zeros((1, 32))
+        for bad in (-1, 32):
+            with pytest.raises(IntrinsicError):
+                g.shfl_up(v, bad)
+            with pytest.raises(IntrinsicError):
+                g.shfl_down(v, bad)
+            with pytest.raises(IntrinsicError):
+                g.shfl_xor(v, bad)
+
+    def test_does_not_mutate_input(self):
+        g, _ = make_gang(1)
+        v = np.arange(32).reshape(1, 32)
+        orig = v.copy()
+        g.shfl_up(v, 1)
+        g.shfl_down(v, 1)
+        g.shfl_xor(v, 1)
+        assert (v == orig).all()
+
+
+class TestPopc:
+    def test_popc(self):
+        g, _ = make_gang(1)
+        v = np.full((1, 32), 0b1011, dtype=np.uint32)
+        assert (g.popc(v) == 3).all()
+
+
+class TestScansAndReductions:
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=32, max_size=32))
+    @settings(max_examples=50)
+    def test_exclusive_scan_matches_cumsum(self, values):
+        g, _ = make_gang(1)
+        v = np.array([values], dtype=np.int64)
+        out = g.exclusive_scan(v)
+        expected = np.concatenate([[0], np.cumsum(values)[:-1]])
+        assert out[0].tolist() == expected.tolist()
+
+    def test_inclusive_scan(self):
+        g, _ = make_gang(2)
+        v = np.ones((2, 32), dtype=np.int64)
+        out = g.inclusive_scan(v)
+        assert (out == np.arange(1, 33)).all()
+
+    def test_scan_is_per_warp(self):
+        g, _ = make_gang(2)
+        v = np.ones((2, 32), dtype=np.int64)
+        v[1] *= 10
+        out = g.exclusive_scan(v)
+        assert out[0, 31] == 31 and out[1, 31] == 310
+
+    @given(st.lists(st.integers(min_value=-50, max_value=50), min_size=32, max_size=32))
+    @settings(max_examples=50)
+    def test_reduce_sum(self, values):
+        g, _ = make_gang(1)
+        v = np.array([values], dtype=np.int64)
+        assert int(g.reduce_sum(v)[0]) == sum(values)
+
+    def test_reduce_max(self):
+        g, _ = make_gang(1)
+        v = np.arange(32).reshape(1, 32)
+        assert int(g.reduce_max(v)[0]) == 31
+
+    def test_scan_charges_log_rounds(self):
+        g, c = make_gang(4)
+        g.exclusive_scan(np.ones((4, 32), dtype=np.int64))
+        # 5 shuffle rounds + 5 adds, per warp
+        assert c.warp_instructions == 10 * 4
+
+
+class TestConstruction:
+    def test_rejects_zero_warps(self):
+        with pytest.raises(IntrinsicError):
+            WarpGang(0)
+
+    def test_lane_matrix(self):
+        g, _ = make_gang(2)
+        assert g.lane.shape == (2, 32)
+        assert (g.lane[0] == np.arange(32)).all()

@@ -1,0 +1,132 @@
+"""Tests for the MSB radix sort and the LSB-vs-MSB claim of Section 3.3."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simt import Device, K40C
+from repro.sort import msb_radix_sort, radix_sort
+
+
+def fresh():
+    return Device(K40C)
+
+
+class TestCorrectness:
+    def test_sorts_uniform(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 2**32, 20000, dtype=np.uint32)
+        out, _ = msb_radix_sort(fresh(), keys)
+        assert (out == np.sort(keys)).all()
+
+    def test_stable_with_values(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 64, 8000).astype(np.uint32)
+        values = np.arange(8000, dtype=np.uint32)
+        sk, sv = msb_radix_sort(fresh(), keys, values, bits=6)
+        order = np.argsort(keys, kind="stable")
+        assert (sk == keys[order]).all() and (sv == values[order]).all()
+
+    @pytest.mark.parametrize("digit_bits", [2, 4, 8])
+    @pytest.mark.parametrize("small_segment", [1, 64, 100000])
+    def test_parameters_dont_change_result(self, digit_bits, small_segment):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 2**32, 5000, dtype=np.uint32)
+        out, _ = msb_radix_sort(fresh(), keys, digit_bits=digit_bits,
+                                small_segment=small_segment)
+        assert (out == np.sort(keys)).all()
+
+    def test_partial_bits(self):
+        keys = np.array([0b100, 0b011, 0b110, 0b001], dtype=np.uint32)
+        out, _ = msb_radix_sort(fresh(), keys, bits=2)
+        # sorted by low 2 bits only, stable
+        assert out.tolist() == [0b100, 0b001, 0b110, 0b011]
+
+    @given(st.lists(st.integers(0, 2**32 - 1), max_size=500), st.integers(1, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_lsb(self, keys, bits):
+        keys = np.array(keys, dtype=np.uint32)
+        values = np.arange(keys.size, dtype=np.uint32)
+        lsb_k, lsb_v = radix_sort(fresh(), keys, values, bits=bits)
+        msb_k, msb_v = msb_radix_sort(fresh(), keys, values, bits=bits)
+        assert (lsb_k == msb_k).all() and (lsb_v == msb_v).all()
+
+    def test_empty_and_single(self):
+        out, v = msb_radix_sort(fresh(), np.array([], dtype=np.uint32))
+        assert out.size == 0 and v is None
+        out, _ = msb_radix_sort(fresh(), np.array([9], dtype=np.uint32))
+        assert out.tolist() == [9]
+
+    def test_all_equal_keys_terminate_early(self):
+        dev = fresh()
+        keys = np.full(10000, 0xDEADBEEF, dtype=np.uint32)
+        out, _ = msb_radix_sort(dev, keys)
+        assert (out == keys).all()
+        # one segment collapses to the small-segment local sort immediately:
+        # far fewer kernels than 4 full global levels
+        global_levels = sum("downsweep" in r.name for r in dev.timeline.records)
+        assert global_levels == 1  # the single pure segment stops after level 0
+
+
+class TestValidation:
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            msb_radix_sort(fresh(), np.zeros((2, 2), dtype=np.uint32))
+        with pytest.raises(ValueError):
+            msb_radix_sort(fresh(), np.zeros(4, dtype=np.uint32), bits=0)
+        with pytest.raises(ValueError):
+            msb_radix_sort(fresh(), np.zeros(4, dtype=np.uint32), digit_bits=0)
+        with pytest.raises(ValueError):
+            msb_radix_sort(fresh(), np.zeros(4, dtype=np.uint32), small_segment=0)
+        with pytest.raises(ValueError):
+            msb_radix_sort(fresh(), np.zeros(4, dtype=np.uint32),
+                           np.zeros(5, dtype=np.uint32))
+
+
+class TestSection33Claim:
+    """MSB does less intermediate data movement on non-uniform keys."""
+
+    def _traffic(self, dev):
+        return sum(r.counters.global_read_bytes_useful
+                   + r.counters.global_write_bytes_useful
+                   for r in dev.timeline.records)
+
+    @staticmethod
+    def _dup_skew(n, seed):
+        """Duplicate-heavy Zipf values spread over the 32-bit domain."""
+        rng = np.random.default_rng(seed)
+        vals = rng.zipf(1.5, n).astype(np.uint64) * np.uint64(2654435761)
+        return (vals % np.uint64(1 << 32)).astype(np.uint32)
+
+    def test_msb_moves_less_data_on_skewed_keys(self):
+        skewed = self._dup_skew(1 << 17, 3)
+        d_lsb, d_msb = fresh(), fresh()
+        radix_sort(d_lsb, skewed.copy())
+        msb_radix_sort(d_msb, skewed.copy())
+        assert self._traffic(d_msb) < 0.7 * self._traffic(d_lsb)
+
+    def test_similar_on_uniform_keys(self):
+        """Paper: 'If the distribution of keys is uniform, they should
+        perform the same.'"""
+        n = 1 << 17
+        rng = np.random.default_rng(4)
+        keys = rng.integers(0, 2**32, n, dtype=np.uint32)
+        d_lsb, d_msb = fresh(), fresh()
+        radix_sort(d_lsb, keys.copy())
+        # disable the small-segment local finish so both run global passes
+        msb_radix_sort(d_msb, keys.copy(), small_segment=1)
+        ratio = self._traffic(d_msb) / self._traffic(d_lsb)
+        assert 0.6 < ratio < 1.4
+
+    def test_msb_faster_on_skewed_simulated_time(self):
+        skewed = self._dup_skew(1 << 17, 5)
+        d_lsb, d_msb = fresh(), fresh()
+        radix_sort(d_lsb, skewed.copy())
+        msb_radix_sort(d_msb, skewed.copy())
+        assert d_msb.total_ms < d_lsb.total_ms
+
+    def test_pure_segments_stop_moving(self):
+        dev = fresh()
+        skewed = self._dup_skew(1 << 16, 6)
+        out, _ = msb_radix_sort(dev, skewed)
+        assert (out == np.sort(skewed)).all()

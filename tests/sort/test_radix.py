@@ -1,0 +1,120 @@
+"""Tests for the LSB radix sort substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simt import Device, K40C
+from repro.sort import radix_sort
+
+
+def fresh():
+    return Device(K40C)
+
+
+class TestCorrectness:
+    def test_sorts_keys(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 2**32, 10000, dtype=np.uint32)
+        out, _ = radix_sort(fresh(), keys)
+        assert (out == np.sort(keys)).all()
+
+    def test_stable_with_values(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 16, 5000).astype(np.uint32)  # many duplicates
+        values = np.arange(5000, dtype=np.uint32)
+        sk, sv = radix_sort(fresh(), keys, values, bits=4)
+        order = np.argsort(keys, kind="stable")
+        assert (sk == keys[order]).all() and (sv == values[order]).all()
+
+    def test_partial_bits_sorts_low_bits_only(self):
+        keys = np.array([0b100, 0b011, 0b110, 0b001], dtype=np.uint32)
+        out, _ = radix_sort(fresh(), keys, bits=2)
+        # sorted by low 2 bits, stable: 100(00), 001(01), 110(10), 011(11)
+        assert out.tolist() == [0b100, 0b001, 0b110, 0b011]
+
+    @pytest.mark.parametrize("digit_bits", [1, 3, 8, 11])
+    def test_digit_width_invariant(self, digit_bits):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 2**32, 3000, dtype=np.uint32)
+        out, _ = radix_sort(fresh(), keys, digit_bits=digit_bits)
+        assert (out == np.sort(keys)).all()
+
+    @given(st.lists(st.integers(0, 2**32 - 1), max_size=400), st.integers(1, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_property_stable_sort(self, keys, bits):
+        keys = np.array(keys, dtype=np.uint32)
+        values = np.arange(keys.size, dtype=np.uint32)
+        sk, sv = radix_sort(fresh(), keys, values, bits=bits)
+        masked = keys & np.uint32((1 << bits) - 1) if bits < 32 else keys
+        order = np.argsort(masked, kind="stable")
+        assert (sk == keys[order]).all()
+        assert (sv == values[order]).all()
+
+    def test_empty_and_single(self):
+        out, v = radix_sort(fresh(), np.array([], dtype=np.uint32))
+        assert out.size == 0 and v is None
+        out, _ = radix_sort(fresh(), np.array([7], dtype=np.uint32))
+        assert out.tolist() == [7]
+
+    def test_values_none_passthrough(self):
+        _, v = radix_sort(fresh(), np.arange(100, dtype=np.uint32))
+        assert v is None
+
+
+class TestValidation:
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            radix_sort(fresh(), np.zeros(4, dtype=np.uint32), bits=0)
+        with pytest.raises(ValueError):
+            radix_sort(fresh(), np.zeros(4, dtype=np.uint32), bits=65)
+
+    def test_rejects_bad_digit_bits(self):
+        with pytest.raises(ValueError):
+            radix_sort(fresh(), np.zeros(4, dtype=np.uint32), digit_bits=0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            radix_sort(fresh(), np.zeros((2, 2), dtype=np.uint32))
+
+    def test_rejects_mismatched_values(self):
+        with pytest.raises(ValueError):
+            radix_sort(fresh(), np.zeros(4, dtype=np.uint32), np.zeros(5, dtype=np.uint32))
+
+
+class TestCostModel:
+    def test_pass_count_scales_time(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 2**32, 1 << 16, dtype=np.uint32)
+        d32, d8 = fresh(), fresh()
+        radix_sort(d32, keys.copy(), bits=32)
+        radix_sort(d8, keys.copy(), bits=8)
+        assert d32.total_ms > 3 * d8.total_ms
+
+    def test_kv_costs_more_than_key_only(self):
+        rng = np.random.default_rng(4)
+        keys = rng.integers(0, 2**32, 1 << 16, dtype=np.uint32)
+        values = rng.integers(0, 2**32, 1 << 16, dtype=np.uint32)
+        dk, dkv = fresh(), fresh()
+        radix_sort(dk, keys.copy())
+        radix_sort(dkv, keys.copy(), values)
+        assert dkv.total_ms > dk.total_ms
+
+    def test_skewed_digits_cheaper_than_uniform(self):
+        """Longer scatter runs on skewed data -> fewer sectors (Figure 5)."""
+        n = 1 << 18
+        rng = np.random.default_rng(5)
+        uniform = rng.integers(0, 256, n).astype(np.uint32)
+        skewed = rng.binomial(255, 0.5, n).astype(np.uint32)
+        du, ds = fresh(), fresh()
+        radix_sort(du, uniform, bits=8)
+        radix_sort(ds, skewed, bits=8)
+        assert ds.total_ms < du.total_ms
+
+    def test_kernel_naming(self):
+        dev = fresh()
+        radix_sort(dev, np.arange(1024, dtype=np.uint32), bits=16, stage="sort")
+        names = [r.name for r in dev.timeline.records]
+        assert any("radix_upsweep_p0" in x for x in names)
+        assert any("radix_downsweep_p1" in x for x in names)
+        assert all(r.stage == "sort" for r in dev.timeline.records)

@@ -1,0 +1,97 @@
+"""Tests for the CSR graph and generators."""
+
+import numpy as np
+import pytest
+
+from repro.sssp import Graph, gnm_random, rmat, social_like, gbf_like, grid2d
+
+
+class TestGraph:
+    def test_from_edges_roundtrip(self):
+        g = Graph.from_edges(4, [0, 0, 2, 3], [1, 2, 3, 0], [1.0, 2.0, 3.0, 4.0])
+        assert g.num_vertices == 4 and g.num_edges == 4
+        assert g.out_degree(0) == 2
+        assert g.out_degree().tolist() == [2, 0, 1, 1]
+        assert sorted(g.col_idx[g.row_ptr[0]:g.row_ptr[1]].tolist()) == [1, 2]
+
+    def test_parallel_edges_kept(self):
+        g = Graph.from_edges(2, [0, 0], [1, 1], [1.0, 2.0])
+        assert g.num_edges == 2
+
+    def test_edges_of_frontier(self):
+        g = Graph.from_edges(4, [0, 0, 1, 2], [1, 2, 3, 3], [1.0, 2.0, 3.0, 4.0])
+        srcs, dsts, ws = g.edges_of(np.array([0, 2]))
+        assert srcs.tolist() == [0, 0, 2]
+        assert dsts.tolist() == [1, 2, 3]
+        assert ws.tolist() == [1.0, 2.0, 4.0]
+
+    def test_edges_of_empty_frontier(self):
+        g = Graph.from_edges(2, [0], [1], [1.0])
+        srcs, dsts, ws = g.edges_of(np.array([], dtype=np.int64))
+        assert srcs.size == dsts.size == ws.size == 0
+
+    def test_edges_of_isolated_vertex(self):
+        g = Graph.from_edges(3, [0], [1], [1.0])
+        srcs, _, _ = g.edges_of(np.array([2]))
+        assert srcs.size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([0, 2]), np.array([0]), np.array([1.0]))  # ptr mismatch
+        with pytest.raises(ValueError):
+            Graph(np.array([0, 1]), np.array([5]), np.array([1.0]))  # col range
+        with pytest.raises(ValueError):
+            Graph(np.array([0, 1]), np.array([0]), np.array([-1.0]))  # negative w
+        with pytest.raises(ValueError):
+            Graph(np.array([1, 0]), np.array([]), np.array([]))  # decreasing ptr
+        with pytest.raises(ValueError):
+            Graph.from_edges(2, [0], [2], [1.0])  # endpoint range
+
+    def test_repr(self):
+        g = Graph.from_edges(2, [0], [1], [1.0])
+        assert "V=2" in repr(g)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("maker", [
+        lambda: gnm_random(100, 500, seed=1),
+        lambda: rmat(7, 8, seed=1),
+        lambda: social_like(200, 8, seed=1),
+        lambda: gbf_like(150, 2.0, seed=1),
+        lambda: grid2d(10, 12, seed=1),
+    ])
+    def test_valid_graphs(self, maker):
+        g = maker()
+        assert g.num_vertices > 0
+        assert g.num_edges > 0
+        assert g.weights.min() >= 0
+        assert g.col_idx.max() < g.num_vertices
+
+    def test_deterministic_by_seed(self):
+        a, b = gnm_random(50, 200, seed=7), gnm_random(50, 200, seed=7)
+        assert (a.col_idx == b.col_idx).all() and (a.weights == b.weights).all()
+
+    def test_rmat_is_skewed(self):
+        g = rmat(9, 8, seed=2)
+        deg = g.out_degree()
+        assert deg.max() > 8 * np.median(deg[deg > 0])
+
+    def test_grid_degrees(self):
+        g = grid2d(5, 5)
+        deg = g.out_degree()
+        assert deg.max() == 4 and deg.min() == 2
+
+    def test_gbf_has_ring(self):
+        g = gbf_like(64, 0.0, seed=3)
+        assert g.num_edges == 64  # ring only
+        # every vertex reaches its successor
+        for v in (0, 13, 63):
+            assert (v + 1) % 64 in g.col_idx[g.row_ptr[v]:g.row_ptr[v + 1]]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gnm_random(0, 5)
+        with pytest.raises(ValueError):
+            rmat(0)
+        with pytest.raises(ValueError):
+            rmat(5, a=0.9, b=0.9, c=0.9)

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_run_prints_timeline(self, capsys):
+        assert main(["run", "-n", "4096", "-m", "4", "--method", "warp"]) == 0
+        out = capsys.readouterr().out
+        assert "warp multisplit" in out
+        assert "throughput" in out
+        assert "TOTAL" in out
+
+    def test_run_key_value(self, capsys):
+        assert main(["run", "-n", "2048", "-m", "2", "--key-value"]) == 0
+        assert "key-value" in capsys.readouterr().out
+
+    def test_run_csv(self, capsys):
+        assert main(["run", "-n", "2048", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("kernel,stage,total_ms")
+
+    def test_run_identity_distribution(self, capsys):
+        assert main(["run", "-n", "2048", "-m", "8",
+                     "--distribution", "identity", "--method", "direct"]) == 0
+
+    def test_run_on_maxwell(self, capsys):
+        assert main(["run", "-n", "2048", "--device", "gtx750ti"]) == 0
+        assert "750 Ti" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "-n", "8192", "--buckets", "2", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "m=2" in out and "m=8" in out
+        assert "reduced_bit" in out
+        # scan_split supports only m=2
+        line = next(l for l in out.splitlines() if l.startswith("scan_split"))
+        assert "-" in line
+
+    def test_sssp(self, capsys):
+        assert main(["sssp", "--family", "gbf", "--scale", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "multisplit speedup" in out
+
+    def test_sol_matches_paper(self, capsys):
+        assert main(["sol"]) == 0
+        out = capsys.readouterr().out
+        assert "24.0" in out and "14.4" in out
+
+    def test_bad_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--method", "bogus"])
+
+    def test_run_gantt(self, capsys):
+        assert main(["run", "-n", "2048", "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "█" in out and "stage breakdown" in out

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script must run end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, monkeypatch, capsys):
+    monkeypatch.chdir(EXAMPLES.parent)
+    sys.modules.pop("__main__", None)
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example("quickstart.py", monkeypatch, capsys)
+        assert "prime/composite" in out
+        assert "stability verified" in out
+
+    def test_ray_bucketing(self, monkeypatch, capsys):
+        out = run_example("ray_bucketing.py", monkeypatch, capsys)
+        assert "direction octants" in out
+        assert "after" in out
+
+    def test_spmv_row_binning(self, monkeypatch, capsys):
+        out = run_example("spmv_row_binning.py", monkeypatch, capsys)
+        assert "length classes" in out
+        assert "verified" in out
+
+    def test_top_k(self, monkeypatch, capsys):
+        out = run_example("top_k_selection.py", monkeypatch, capsys)
+        assert "verified against full sort" in out
+
+    @pytest.mark.slow
+    def test_sssp_example(self, monkeypatch, capsys):
+        out = run_example("sssp_delta_stepping.py", monkeypatch, capsys)
+        assert "geo-mean speedup" in out
+        assert "verified against Dijkstra" in out
+
+    @pytest.mark.slow
+    def test_method_explorer(self, monkeypatch, capsys):
+        out = run_example("method_explorer.py", monkeypatch, capsys)
+        assert "Tesla K40c" in out and "GTX 750 Ti" in out
+
+    @pytest.mark.slow
+    def test_applications_tour(self, monkeypatch, capsys):
+        out = run_example("applications_tour.py", monkeypatch, capsys)
+        assert "hash table" in out and "voxelizer" in out
+
+    def test_float_keys(self, monkeypatch, capsys):
+        out = run_example("float_keys.py", monkeypatch, capsys)
+        assert "4 bins" in out and "verified" in out

@@ -1,0 +1,92 @@
+"""End-to-end fuzzing across the full public surface.
+
+One hypothesis-driven test sweeps random combinations of method, bucket
+count, size, distribution, device, launch geometry, and coarsening, and
+checks the complete multisplit contract on each. Complements the
+per-module tests by exercising the *interactions*.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.multisplit import (
+    multisplit,
+    multisplit_any,
+    RangeBuckets,
+    CustomBuckets,
+    check_multisplit,
+)
+from repro.simt import Device, K40C, GTX750TI
+from repro.workloads import DISTRIBUTIONS
+
+
+@st.composite
+def configs(draw):
+    method = draw(st.sampled_from(
+        ["direct", "warp", "block", "reduced_bit", "recursive_split"]))
+    if method == "warp":
+        m = draw(st.integers(1, 32))
+    else:
+        m = draw(st.integers(1, 80))
+    n = draw(st.integers(0, 3000))
+    dist = draw(st.sampled_from(sorted(DISTRIBUTIONS)))
+    spec = draw(st.sampled_from(["k40c", "gtx750ti"]))
+    nw = draw(st.sampled_from([2, 4, 8, 16]))
+    kv = draw(st.booleans())
+    seed = draw(st.integers(0, 2**31))
+    return method, m, n, dist, spec, nw, kv, seed
+
+
+@given(configs())
+@settings(max_examples=120, deadline=None)
+def test_fuzz_full_contract(cfg):
+    method, m, n, dist, devname, nw, kv, seed = cfg
+    rng = np.random.default_rng(seed)
+    keys = DISTRIBUTIONS[dist](n, m, rng)
+    values = rng.integers(0, 2**32, n, dtype=np.uint32) if kv else None
+    dev = Device(K40C if devname == "k40c" else GTX750TI)
+    bspec = RangeBuckets(m)
+    kwargs = {}
+    if method in ("direct", "warp", "block"):
+        kwargs["warps_per_block"] = nw
+    res = multisplit(keys, bspec, values=values, method=method, device=dev,
+                     **kwargs)
+    check_multisplit(res, keys, bspec, values)
+    assert res.simulated_ms >= 0
+    assert np.isfinite(res.simulated_ms)
+
+
+@given(st.integers(1, 8), st.integers(0, 2000), st.integers(0, 2**31),
+       st.sampled_from([1, 2, 4, 5]))
+@settings(max_examples=60, deadline=None)
+def test_fuzz_coarsened_direct(m, n, seed, ipl):
+    from repro.multisplit import direct_multisplit
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 2**32, n, dtype=np.uint32)
+    values = rng.integers(0, 2**32, n, dtype=np.uint32)
+    spec = RangeBuckets(m)
+    res = direct_multisplit(keys, spec, values=values, items_per_lane=ipl)
+    check_multisplit(res, keys, spec, values)
+
+
+@given(st.integers(0, 1500), st.integers(2, 16), st.integers(0, 2**31),
+       st.sampled_from(["float32", "int32"]))
+@settings(max_examples=60, deadline=None)
+def test_fuzz_typed_keys(n, m, seed, dtype):
+    rng = np.random.default_rng(seed)
+    if dtype == "float32":
+        keys = ((rng.random(n) - 0.5) * 1000).astype(np.float32)
+        edges = np.linspace(-500, 500, m + 1)[1:-1]
+    else:
+        keys = rng.integers(-1000, 1000, n).astype(np.int32)
+        edges = np.linspace(-1000, 1000, m + 1)[1:-1]
+    spec = CustomBuckets(
+        lambda k: np.searchsorted(edges, np.asarray(k, dtype=np.float64)).astype(np.uint32),
+        m)
+    res = multisplit_any(keys, spec, method="warp")
+    # contract: contiguous ascending buckets over the original dtype
+    ids = spec(res.keys)
+    assert (np.diff(ids.astype(np.int64)) >= 0).all()
+    assert np.array_equal(np.sort(res.keys), np.sort(keys))
+    assert (np.diff(res.bucket_starts) == np.bincount(spec(keys), minlength=m)).all()

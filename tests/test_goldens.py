@@ -1,0 +1,53 @@
+"""Golden regression tests for the frozen cost model.
+
+The calibration constants are frozen (EXPERIMENTS.md); these tests pin
+the simulated times of representative configurations so that any
+accidental change to the model or to the algorithms' audited work shows
+up as a diff here. Tolerances are tight (the emulation is
+deterministic) but not exact, to allow harmless refactors of charge
+ordering.
+
+If a change is *intentional* (recalibration, new cost term), update the
+goldens and the EXPERIMENTS.md tables together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import run_method, run_radix_baseline
+
+# (method, m, kv) -> expected simulated ms at n = 2^25 on the K40c,
+# emulated at n = 2^20, seed 0
+GOLDENS = {
+    ("direct", 2, False): 3.65,
+    ("direct", 32, False): 8.87,
+    ("warp", 2, False): 3.42,
+    ("warp", 8, True): 7.37,
+    ("block", 8, False): 6.15,
+    ("block", 32, True): 8.24,
+    ("scan_split", 2, False): 6.55,
+    ("reduced_bit", 8, False): 9.37,
+    ("reduced_bit", 32, True): 24.30,
+    ("sparse_block", 256, False): 19.03,
+}
+RADIX_GOLDENS = {False: 23.02, True: 40.66}
+N_EMULATE = 1 << 20
+
+
+class TestGoldens:
+    @pytest.mark.parametrize("method,m,kv", sorted(GOLDENS, key=str))
+    def test_method_golden(self, method, m, kv):
+        p = run_method(method, m, key_value=kv, n=N_EMULATE, seed=0)
+        assert p.total_ms == pytest.approx(GOLDENS[(method, m, kv)], rel=0.02), (
+            f"{method} m={m} kv={kv}: model drifted to {p.total_ms:.3f} ms — "
+            "if intentional, update GOLDENS and EXPERIMENTS.md")
+
+    @pytest.mark.parametrize("kv", [False, True])
+    def test_radix_golden(self, kv):
+        p = run_radix_baseline(key_value=kv, n=N_EMULATE, seed=0)
+        assert p.total_ms == pytest.approx(RADIX_GOLDENS[kv], rel=0.02)
+
+    def test_determinism(self):
+        a = run_method("warp", 8, n=1 << 16, seed=3)
+        b = run_method("warp", 8, n=1 << 16, seed=3)
+        assert a.total_ms == b.total_ms

@@ -1,0 +1,122 @@
+"""Tests for the evaluation workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.multisplit import RangeBuckets
+from repro.workloads import (
+    uniform_keys,
+    binomial_keys,
+    spike_keys,
+    identity_keys,
+    random_values,
+    make_workload,
+    DISTRIBUTIONS,
+)
+
+
+class TestUniform:
+    def test_roughly_even_over_buckets(self):
+        rng = np.random.default_rng(0)
+        m = 16
+        keys = uniform_keys(1 << 16, m, rng)
+        counts = np.bincount(RangeBuckets(m)(keys), minlength=m)
+        assert counts.min() > 0.8 * counts.mean()
+
+    def test_dtype_and_size(self):
+        keys = uniform_keys(1000)
+        assert keys.dtype == np.uint32 and keys.size == 1000
+
+
+class TestBinomial:
+    def test_bucket_marginals_match_binomial(self):
+        from scipy.stats import binom
+        rng = np.random.default_rng(1)
+        m = 16
+        n = 1 << 16
+        keys = binomial_keys(n, m, 0.5, rng)
+        counts = np.bincount(RangeBuckets(m)(keys), minlength=m)
+        expected = binom.pmf(np.arange(m), m - 1, 0.5) * n
+        # populated middle buckets within 15% of the binomial pmf
+        mid = slice(4, 12)
+        assert np.allclose(counts[mid], expected[mid], rtol=0.15)
+
+    def test_concentrates_in_middle(self):
+        rng = np.random.default_rng(2)
+        m = 32
+        keys = binomial_keys(1 << 15, m, 0.5, rng)
+        ids = RangeBuckets(m)(keys)
+        assert ((ids > 8) & (ids < 24)).mean() > 0.95
+
+    def test_p_extremes(self):
+        rng = np.random.default_rng(3)
+        ids = RangeBuckets(8)(binomial_keys(1000, 8, 0.0, rng))
+        assert (ids == 0).all()
+        ids = RangeBuckets(8)(binomial_keys(1000, 8, 1.0, rng))
+        assert (ids == 7).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binomial_keys(10, 0)
+        with pytest.raises(ValueError):
+            binomial_keys(10, 4, p=1.5)
+
+
+class TestSpike:
+    def test_spike_fraction(self):
+        rng = np.random.default_rng(4)
+        m = 8
+        keys = spike_keys(1 << 15, m, 0.25, spike_bucket=3, rng=rng)
+        ids = RangeBuckets(m)(keys)
+        frac_in_spike = (ids == 3).mean()
+        assert 0.75 < frac_in_spike < 0.82  # 75% + 25%/8
+
+    def test_fully_uniform_limit(self):
+        rng = np.random.default_rng(5)
+        keys = spike_keys(1 << 14, 4, 1.0, rng=rng)
+        counts = np.bincount(RangeBuckets(4)(keys), minlength=4)
+        assert counts.min() > 0.8 * counts.mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spike_keys(10, 4, frac_uniform=2.0)
+        with pytest.raises(ValueError):
+            spike_keys(10, 4, spike_bucket=9)
+
+
+class TestIdentityAndValues:
+    def test_identity_range(self):
+        keys = identity_keys(5000, 7, np.random.default_rng(6))
+        assert keys.min() >= 0 and keys.max() < 7
+
+    def test_random_values_shape(self):
+        assert random_values(123).shape == (123,)
+
+
+class TestWorkloadBundle:
+    @pytest.mark.parametrize("dist", list(DISTRIBUTIONS) + ["identity"])
+    def test_make_workload(self, dist):
+        w = make_workload(4096, 8, dist, seed=3)
+        assert w.n == 4096 and w.m == 8
+        assert w.keys.shape == w.values.shape
+        ids = w.spec(w.keys)
+        assert ids.max() < 8
+
+    def test_reproducible(self):
+        a = make_workload(1000, 4, "uniform", seed=9)
+        b = make_workload(1000, 4, "uniform", seed=9)
+        assert (a.keys == b.keys).all() and (a.values == b.values).all()
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            make_workload(10, 2, "cauchy")
+
+    @given(st.sampled_from(sorted(DISTRIBUTIONS)), st.integers(1, 64),
+           st.integers(0, 1000))
+    @settings(max_examples=30)
+    def test_all_keys_in_domain(self, dist, m, seed):
+        rng = np.random.default_rng(seed)
+        keys = DISTRIBUTIONS[dist](512, m, rng)
+        ids = RangeBuckets(m)(keys)
+        assert ids.min() >= 0 and ids.max() < m
