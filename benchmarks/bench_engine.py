@@ -1,0 +1,106 @@
+"""Engine benchmark: emulate vs fast wall-clock at the paper's scale.
+
+Measures three configurations at n = 2^20, m = 32 (block-level MS under
+AUTO) and records them to ``BENCH_engine.json`` at the repo root:
+
+* ``emulate``    — the full SIMT emulation (timeline, counters, pricing)
+* ``fast_cold``  — engine="fast" first call on a not-yet-warmed
+  :class:`Workspace`: every arena slot misses, so the call allocates
+  its pooled buffers and pays their first-touch page faults
+* ``fast_warm``  — engine="fast" second call on the same workspace:
+  every slot hits and the buffers' pages are already mapped
+
+The fast engine must be at least 5x faster than emulation even cold,
+and warming the workspace must show a measurable gain over the cold
+call. Methodology notes: the arenas all stay alive for the whole run so
+each cold call maps genuinely fresh pages (a freed arena's pages would
+be recycled by the allocator, hiding the cost being measured), and the
+fast measurements run *before* the emulation pass for the same reason
+(the emulator's freed scratch would otherwise pre-fault the heap).
+Cold/warm samples are interleaved per arena and summarized by median.
+
+Run:  PYTHONPATH=src python benchmarks/bench_engine.py
+  or: PYTHONPATH=src python -m pytest benchmarks/bench_engine.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.engine import Workspace
+from repro.multisplit import RangeBuckets, multisplit
+
+N = 1 << 20
+M = 32
+RESULT_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+
+def _timed_ms(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return (time.perf_counter() - t0) * 1e3
+
+
+def _median(xs: list[float]) -> float:
+    return sorted(xs)[len(xs) // 2]
+
+
+def run(n: int = N, m: int = M, repeats: int = 9) -> dict:
+    rng = np.random.default_rng(2016)
+    keys = rng.integers(0, 2**32, n, dtype=np.uint32)
+    values = np.arange(n, dtype=np.uint32)
+    spec = RangeBuckets(m)
+
+    # resolve AUTO once so every configuration times the same method
+    method = multisplit(keys[:1024], spec, engine="fast").method
+
+    def fast(ws=None):
+        return multisplit(keys, spec, values=values, method=method,
+                          engine="fast", workspace=ws)
+
+    fast()  # process warm-up: fault in the numpy code paths once
+    arenas = [Workspace() for _ in range(repeats)]  # alive for the run
+    colds, warms = [], []
+    for ws in arenas:
+        colds.append(_timed_ms(lambda: fast(ws)))
+        warms.append(_timed_ms(lambda: fast(ws)))
+    fast_cold_ms, fast_warm_ms = _median(colds), _median(warms)
+    ws = arenas[-1]
+
+    emulate_ms = min(_timed_ms(
+        lambda: multisplit(keys, spec, values=values, method=method))
+        for _ in range(2))
+
+    return {
+        "n": n,
+        "m": m,
+        "method": method,
+        "key_value": True,
+        "emulate_ms": round(emulate_ms, 3),
+        "fast_cold_ms": round(fast_cold_ms, 3),
+        "fast_warm_ms": round(fast_warm_ms, 3),
+        "speedup_fast_vs_emulate": round(emulate_ms / fast_cold_ms, 2),
+        "speedup_warm_vs_emulate": round(emulate_ms / fast_warm_ms, 2),
+        "warm_gain_vs_cold": round(fast_cold_ms / fast_warm_ms, 3),
+        "workspace_hits": ws.hits,
+        "workspace_nbytes": ws.nbytes,
+    }
+
+
+def test_engine_speedup():
+    report = run()
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    assert report["speedup_fast_vs_emulate"] >= 5.0, report
+    assert report["warm_gain_vs_cold"] > 1.0, report
+    assert report["workspace_hits"] > 0, report
+
+
+if __name__ == "__main__":
+    report = run()
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"[saved to {RESULT_PATH}]")

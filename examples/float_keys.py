@@ -34,18 +34,18 @@ def main():
     print(f"{n} float32 energies into 4 bins via warp-level multisplit "
           f"({res.simulated_ms:.3f} simulated ms)")
     names = ["negative", "[0, 1)", "[1, 10)", "10+"]
-    for b in range(4):
-        lo, hi = res.bucket_starts[b], res.bucket_starts[b + 1]
-        bucket = res.keys[lo:hi]
+    for b, sl in enumerate(res.bucket_slices()):
+        bucket = res.keys[sl]
         print(f"  {names[b]:9s}: {bucket.size:7d} values"
               + (f", range [{bucket.min():.3g}, {bucket.max():.3g}]"
                  if bucket.size else ""))
     # the specials ended up in the right bins
     neg = res.bucket(0)
     assert -np.inf in neg and np.inf in res.bucket(3)
+    assert int(res.bucket_counts.sum()) == n
     # stability: particle ids ascend within each bin
-    for b in range(4):
-        vals = res.values[res.bucket_starts[b]:res.bucket_starts[b + 1]]
+    for sl in res.bucket_slices():
+        vals = res.values[sl]
         assert (np.diff(vals.astype(np.int64)) > 0).all()
     print("  specials (-0.0, +-inf) and stability verified")
 

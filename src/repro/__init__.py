@@ -22,6 +22,7 @@ from .multisplit import (
     Method,
     multisplit,
     multisplit_kv,
+    multisplit_batch,
     MultisplitResult,
     BucketSpec,
     RangeBuckets,
@@ -32,13 +33,15 @@ from .multisplit import (
     check_multisplit,
 )
 from .simt import Device, DeviceSpec, K40C, GTX750TI
+from .engine import Workspace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "Method", "multisplit", "multisplit_kv", "MultisplitResult",
+    "Method", "multisplit", "multisplit_kv", "multisplit_batch",
+    "MultisplitResult",
     "BucketSpec", "RangeBuckets", "IdentityBuckets", "DeltaBuckets",
     "PrimeCompositeBuckets", "CustomBuckets", "check_multisplit",
-    "Device", "DeviceSpec", "K40C", "GTX750TI",
+    "Device", "DeviceSpec", "K40C", "GTX750TI", "Workspace",
     "__version__",
 ]

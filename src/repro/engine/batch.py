@@ -1,0 +1,122 @@
+"""Batched multisplit dispatch over a shared workspace / thread pool.
+
+Serving-style workloads (ROADMAP's north star) rarely issue one giant
+multisplit; they issue *many independent ones* — per shard, per query,
+per SSSP window. ``multisplit_batch`` runs a whole batch through the
+fast engine with per-thread scratch reuse, fanning out across a thread
+pool when the batch is large enough to amortize it (numpy releases the
+GIL in the sort/gather kernels that dominate the fused fast path, so
+threads genuinely overlap).
+
+Results in a batch must all outlive the call, so output buffers are
+never pooled here; a caller-provided :class:`Workspace` must therefore
+be created with ``reuse_outputs=False`` (scratch-only pooling).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.multisplit.bucketing import BucketSpec, as_bucket_spec
+from repro.multisplit.result import MultisplitResult
+from .workspace import Workspace
+
+__all__ = ["multisplit_batch"]
+
+# fan out only when there is enough total work for thread startup to pay off
+_MIN_PARALLEL_KEYS = 1 << 18
+_MIN_PARALLEL_ITEMS = 4
+
+
+def _resolve_specs(spec_or_fn, num_buckets, count: int) -> list[BucketSpec]:
+    """One spec per batch item: a single spec/callable is shared by all."""
+    if isinstance(spec_or_fn, (list, tuple)):
+        if len(spec_or_fn) != count:
+            raise ValueError(
+                f"got {len(spec_or_fn)} specs for a batch of {count} inputs")
+        return [as_bucket_spec(s, num_buckets) for s in spec_or_fn]
+    spec = as_bucket_spec(spec_or_fn, num_buckets)
+    return [spec] * count
+
+
+def multisplit_batch(keys_batch, spec_or_fn, num_buckets: int | None = None, *,
+                     values_batch=None, method="auto", engine: str = "fast",
+                     workspace: Workspace | None = None, device=None,
+                     max_workers: int | None = None,
+                     **kwargs) -> list[MultisplitResult]:
+    """Run many independent multisplits; returns results in batch order.
+
+    Parameters
+    ----------
+    keys_batch:
+        Sequence of 1-D key arrays (sizes may differ).
+    spec_or_fn:
+        One :class:`BucketSpec`/callable shared by every item, or a
+        sequence of them (one per item).
+    values_batch:
+        Optional sequence aligned with ``keys_batch``; entries may be
+        ``None`` for key-only items.
+    engine:
+        ``"fast"`` (default: fused result-only kernels, thread-pool
+        fan-out for large batches) or ``"emulate"`` (sequential, full
+        timelines).
+    workspace:
+        Optional scratch arena for the fast engine; must have
+        ``reuse_outputs=False`` because every result in the batch must
+        survive the call. Ignored with ``engine="emulate"``.
+    max_workers:
+        Thread-pool width; ``0`` or ``1`` forces sequential execution.
+    """
+    keys_batch = list(keys_batch)
+    count = len(keys_batch)
+    if values_batch is None:
+        values_batch = [None] * count
+    else:
+        values_batch = list(values_batch)
+        if len(values_batch) != count:
+            raise ValueError(
+                f"got {len(values_batch)} value arrays for a batch of {count} inputs")
+    specs = _resolve_specs(spec_or_fn, num_buckets, count)
+
+    if engine == "emulate":
+        from repro.multisplit.api import multisplit
+        return [multisplit(k, s, values=v, method=method, device=device, **kwargs)
+                for k, s, v in zip(keys_batch, specs, values_batch)]
+    if engine != "fast":
+        raise ValueError(f"engine must be 'fast' or 'emulate', got {engine!r}")
+    if workspace is not None and workspace.reuse_outputs:
+        raise ValueError(
+            "multisplit_batch needs a Workspace(reuse_outputs=False): batched "
+            "results must all outlive the call, so outputs cannot be pooled")
+
+    from .fused import fast_multisplit
+
+    def run_one(item, ws: Workspace):
+        k, s, v = item
+        return fast_multisplit(k, s, values=v, method=method, workspace=ws,
+                               **kwargs)
+
+    items = list(zip(keys_batch, specs, values_batch))
+    total_keys = sum(np.asarray(k).size for k in keys_batch)
+    parallel = (count >= _MIN_PARALLEL_ITEMS
+                and total_keys >= _MIN_PARALLEL_KEYS
+                and (max_workers is None or max_workers > 1))
+    if not parallel:
+        ws = workspace if workspace is not None else Workspace(reuse_outputs=False)
+        return [run_one(item, ws) for item in items]
+
+    # per-thread scratch arenas; numpy's sort/take release the GIL, so the
+    # pool overlaps the dominant kernels of independent items
+    local = threading.local()
+
+    def run_threaded(item):
+        ws = getattr(local, "ws", None)
+        if ws is None:
+            ws = local.ws = Workspace(reuse_outputs=False)
+        return run_one(item, ws)
+
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(run_threaded, items))

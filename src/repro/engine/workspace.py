@@ -1,0 +1,94 @@
+"""Workspace: a pooled scratch-array arena for the fast engine.
+
+Every fast-path multisplit allocates the same handful of arrays — the
+stable permutation, the output key/value buffers, the ``m + 1`` bucket
+boundaries. On a hot path (SSSP re-bucketing every window, batched
+serving traffic) those allocations dominate once the fused kernel
+itself is cheap: each cold ``np.empty`` of a few MB is an ``mmap`` that
+must be page-faulted in on first touch.
+
+A :class:`Workspace` keeps one buffer per (slot name, dtype) and hands
+out views of the right length, growing a slot only when a call needs
+more capacity than it has ever seen. This mirrors what the CUDA
+implementations in the multisplit literature do with their
+``temp_storage`` arenas: allocate once, reuse across launches.
+
+Ownership contract
+------------------
+Arrays obtained from a workspace (including result arrays of
+``multisplit(..., engine="fast", workspace=ws)``) are **views into
+pooled storage**: the next call that reuses the same workspace will
+overwrite them. Callers that need a result to outlive the next call
+must ``.copy()`` it or run without a workspace. A workspace is not
+thread-safe; use one per thread (``multisplit_batch`` does this for
+its thread-pool fan-out).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """A grow-only arena of reusable numpy scratch buffers.
+
+    Parameters
+    ----------
+    reuse_outputs:
+        When ``True`` (default) result arrays (keys/values/starts) are
+        also served from the pool, subject to the ownership contract
+        above. When ``False`` only internal scratch is pooled and every
+        result is freshly allocated — safe to hold onto, slightly
+        slower.
+    """
+
+    def __init__(self, *, reuse_outputs: bool = True):
+        self.reuse_outputs = bool(reuse_outputs)
+        self._slots: dict[tuple[str, np.dtype], np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def take(self, slot: str, size: int, dtype) -> np.ndarray:
+        """A length-``size`` buffer for ``slot``, reused when possible.
+
+        The returned array is a view of pooled storage (uninitialized
+        on a miss, stale on a hit) — callers must fully overwrite it.
+        """
+        dtype = np.dtype(dtype)
+        key = (slot, dtype)
+        buf = self._slots.get(key)
+        if buf is None or buf.size < size:
+            buf = np.empty(max(size, 1), dtype=dtype)
+            self._slots[key] = buf
+            self.misses += 1
+        else:
+            self.hits += 1
+        return buf[:size]
+
+    def out(self, slot: str, size: int, dtype) -> np.ndarray:
+        """A buffer for a *result* array: pooled only if ``reuse_outputs``."""
+        if self.reuse_outputs:
+            return self.take(slot, size, dtype)
+        return np.empty(size, dtype=dtype)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena."""
+        return sum(b.nbytes for b in self._slots.values())
+
+    def clear(self) -> None:
+        """Release every pooled buffer (counters are kept)."""
+        self._slots.clear()
+
+    def __repr__(self) -> str:
+        return (f"Workspace(slots={len(self._slots)}, nbytes={self.nbytes}, "
+                f"hits={self.hits}, misses={self.misses})")
+
+
+def out_buffer(workspace: Workspace | None, slot: str, size: int, dtype) -> np.ndarray:
+    """A result buffer from ``workspace`` (or a fresh array without one)."""
+    if workspace is None:
+        return np.empty(size, dtype=dtype)
+    return workspace.out(slot, size, dtype)

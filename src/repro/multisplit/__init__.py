@@ -1,6 +1,6 @@
 """The multisplit primitive: the paper's core contribution and baselines."""
 
-from .api import Method, multisplit, multisplit_kv
+from .api import Method, multisplit, multisplit_kv, multisplit_batch
 from .bucketing import (
     BucketSpec,
     RangeBuckets,
@@ -31,7 +31,7 @@ from .histogram_only import bucket_histogram, BucketHistogram
 from .warp_ops import warp_histogram, warp_offsets, warp_histogram_and_offsets
 
 __all__ = [
-    "Method", "multisplit", "multisplit_kv",
+    "Method", "multisplit", "multisplit_kv", "multisplit_batch",
     "BucketSpec", "RangeBuckets", "IdentityBuckets", "DeltaBuckets",
     "PrimeCompositeBuckets", "CustomBuckets",
     "block_level_multisplit", "direct_multisplit", "warp_level_multisplit",

@@ -20,10 +20,15 @@ class PaddedInput:
     are masked out of every histogram/scatter), matching how a real
     kernel guards its tail block. ``key_bytes`` carries the key width
     (4 for uint32, 8 for uint64) into the traffic accounting.
+
+    When a :class:`~repro.engine.Workspace` is supplied the padded
+    matrices live in its pooled buffers (invalidated by the next call
+    that reuses the workspace) instead of fresh allocations — the
+    emulated analogue of a real kernel's preallocated scratch arena.
     """
 
     def __init__(self, keys: np.ndarray, ids: np.ndarray, values: np.ndarray | None,
-                 tile_lanes: int):
+                 tile_lanes: int, workspace=None):
         n = keys.size
         self.key_bytes = keys.dtype.itemsize
         lanes_total = max(tile_lanes, -(-n // tile_lanes) * tile_lanes) if n else tile_lanes
@@ -31,15 +36,26 @@ class PaddedInput:
         self.num_warps = lanes_total // WARP_WIDTH
         pad = lanes_total - n
 
-        def _pad(arr, fill=0):
-            out = np.concatenate([arr, np.full(pad, fill, dtype=arr.dtype)]) if pad else arr
+        def _pad(slot, arr, fill=0):
+            if not pad and workspace is None:
+                return arr.reshape(-1, WARP_WIDTH)
+            if workspace is None:
+                out = np.empty(lanes_total, dtype=arr.dtype)
+            else:
+                out = workspace.take(f"pad_{slot}", lanes_total, arr.dtype)
+            out[:n] = arr
+            out[n:] = fill
             return out.reshape(-1, WARP_WIDTH)
 
-        self.keys = _pad(keys)
-        self.ids = _pad(ids.astype(np.uint32))
-        self.values = _pad(values) if values is not None else None
-        valid_flat = np.zeros(lanes_total, dtype=bool)
+        self.keys = _pad("keys", keys)
+        self.ids = _pad("ids", ids.astype(np.uint32))
+        self.values = _pad("values", values) if values is not None else None
+        if workspace is None:
+            valid_flat = np.zeros(lanes_total, dtype=bool)
+        else:
+            valid_flat = workspace.take("pad_valid", lanes_total, bool)
         valid_flat[:n] = True
+        valid_flat[n:] = False
         self.valid = valid_flat.reshape(-1, WARP_WIDTH)
         self.all_valid = pad == 0
 
@@ -49,8 +65,12 @@ class PaddedInput:
         return None if self.all_valid else self.valid
 
 
-def prepare_input(keys, spec, values=None, tile_lanes: int = WARP_WIDTH) -> PaddedInput:
-    """Validate and tile a multisplit input (uint32 or uint64 keys)."""
+def prepare_input(keys, spec, values=None, tile_lanes: int = WARP_WIDTH,
+                  workspace=None) -> PaddedInput:
+    """Validate and tile a multisplit input (uint32 or uint64 keys).
+
+    ``workspace`` optionally pools the padded matrices across calls.
+    """
     keys = np.ascontiguousarray(keys)
     if keys.ndim != 1:
         raise ValueError(f"keys must be 1-D, got shape {keys.shape}")
@@ -64,7 +84,7 @@ def prepare_input(keys, spec, values=None, tile_lanes: int = WARP_WIDTH) -> Padd
                 f"values shape {values.shape} must match keys shape {keys.shape}"
             )
     ids = spec(keys)
-    return PaddedInput(keys, ids, values, tile_lanes)
+    return PaddedInput(keys, ids, values, tile_lanes, workspace)
 
 
 def resolve_device(device) -> Device:

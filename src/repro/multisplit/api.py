@@ -5,6 +5,18 @@ proposed methods and the four baselines. ``Method.AUTO`` encodes the
 paper's Figure 3 guidance: warp-level MS is fastest for small bucket
 counts, block-level MS for larger ones, and reduced-bit sort once the
 bucket count grows past the warp-synchronous methods' useful range.
+
+Two execution engines share this entry point:
+
+* ``engine="emulate"`` (default) — the paper-faithful SIMT emulation;
+  results carry the priced kernel timeline.
+* ``engine="fast"`` — :mod:`repro.engine`'s fused result-only kernels:
+  the bit-identical permutation with ``timeline=None``, optionally
+  reusing scratch across calls via a
+  :class:`~repro.engine.Workspace`.
+
+``multisplit_batch`` runs many independent multisplits through one
+dispatcher (shared specs, pooled scratch, thread-pool fan-out).
 """
 
 from __future__ import annotations
@@ -23,7 +35,7 @@ from .scan_split import scan_split_multisplit, recursive_scan_split_multisplit
 from .sparse_block import sparse_block_multisplit
 from .warp_level import warp_level_multisplit
 
-__all__ = ["Method", "multisplit", "multisplit_kv"]
+__all__ = ["Method", "multisplit", "multisplit_kv", "multisplit_batch"]
 
 
 class Method(str, enum.Enum):
@@ -56,6 +68,7 @@ def _pick_auto(m: int) -> "Method":
 
 def multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
                values: np.ndarray | None = None, method: Method | str = Method.AUTO,
+               engine: str = "emulate", workspace=None,
                device=None, warps_per_block: int = 8, **kwargs) -> MultisplitResult:
     """Permute ``keys`` (and optionally ``values``) into contiguous buckets.
 
@@ -71,10 +84,20 @@ def multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
     method:
         A :class:`Method` (or its string value). ``AUTO`` picks by
         bucket count per the paper's evaluation.
+    engine:
+        ``"emulate"`` (default) runs the paper-faithful SIMT emulation
+        and prices a timeline; ``"fast"`` runs the fused result-only
+        kernels of :mod:`repro.engine` — the bit-identical permutation
+        with ``timeline=None``.
+    workspace:
+        Optional :class:`~repro.engine.Workspace` reused across calls.
+        With ``engine="fast"`` it pools scratch *and* (by default)
+        result buffers — see the workspace ownership contract; with
+        ``engine="emulate"`` it pools the warp-tile padding arrays.
     device:
         A :class:`~repro.simt.Device`, a ``DeviceSpec``, or ``None``
         (fresh K40c); the emulated-kernel timeline is returned on the
-        result.
+        result. Ignored by ``engine="fast"``.
 
     Returns
     -------
@@ -85,6 +108,19 @@ def multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
     method = Method(method)
     if method is Method.AUTO:
         method = _pick_auto(spec.num_buckets)
+
+    if engine == "fast":
+        from repro.engine import fast_multisplit
+        return fast_multisplit(keys, spec, values=values, method=method.value,
+                               workspace=workspace,
+                               warps_per_block=warps_per_block, **kwargs)
+    if engine != "emulate":
+        raise ValueError(f"engine must be 'emulate' or 'fast', got {engine!r}")
+    if workspace is not None and method in (Method.DIRECT, Method.WARP,
+                                            Method.BLOCK, Method.SPARSE_BLOCK):
+        # the warp-tiled methods pool their padding arrays; the others
+        # have no padded scratch for a workspace to reuse
+        kwargs["workspace"] = workspace
 
     if method is Method.DIRECT:
         return direct_multisplit(keys, spec, values=values, device=device,
@@ -117,3 +153,15 @@ def multisplit_kv(keys: np.ndarray, values: np.ndarray, spec_or_fn,
                   num_buckets: int | None = None, **kwargs) -> MultisplitResult:
     """Key-value convenience wrapper around :func:`multisplit`."""
     return multisplit(keys, spec_or_fn, num_buckets, values=values, **kwargs)
+
+
+def multisplit_batch(keys_batch, spec_or_fn, num_buckets: int | None = None,
+                     **kwargs) -> list[MultisplitResult]:
+    """Run many independent multisplits through one dispatcher.
+
+    Defaults to ``engine="fast"`` with pooled per-thread scratch and
+    thread-pool fan-out for large batches; see
+    :func:`repro.engine.multisplit_batch` for the full parameter list.
+    """
+    from repro.engine import multisplit_batch as _batch
+    return _batch(keys_batch, spec_or_fn, num_buckets, **kwargs)

@@ -53,13 +53,13 @@ WIDE_GROUP_ROUND_WINST = 5
 
 def block_level_multisplit(keys: np.ndarray, spec: BucketSpec, *,
                            values: np.ndarray | None = None, device=None,
-                           warps_per_block: int = 8) -> MultisplitResult:
+                           warps_per_block: int = 8, workspace=None) -> MultisplitResult:
     """Stable multisplit with block-sized subproblems and block reordering."""
     dev = resolve_device(device)
     m = spec.num_buckets
     nw = warps_per_block
     tile = nw * WARP_WIDTH
-    data = prepare_input(keys, spec, values, tile_lanes=tile)
+    data = prepare_input(keys, spec, values, tile_lanes=tile, workspace=workspace)
     W = data.num_warps
     L = W // nw
     if m * L > MAX_SCAN_ITEMS:

@@ -33,14 +33,15 @@ __all__ = ["direct_multisplit"]
 
 def direct_multisplit(keys: np.ndarray, spec: BucketSpec, *, values: np.ndarray | None = None,
                       device=None, warps_per_block: int = 8,
-                      items_per_lane: int = 1) -> MultisplitResult:
+                      items_per_lane: int = 1, workspace=None) -> MultisplitResult:
     """Stable multisplit with warp-sized subproblems and a direct scatter."""
     if items_per_lane < 1:
         raise ValueError(f"items_per_lane must be >= 1, got {items_per_lane}")
     dev = resolve_device(device)
     m = spec.num_buckets
     ipl = items_per_lane
-    data = prepare_input(keys, spec, values, tile_lanes=WARP_WIDTH * ipl)
+    data = prepare_input(keys, spec, values, tile_lanes=WARP_WIDTH * ipl,
+                         workspace=workspace)
     n = data.n
     kv = data.values is not None
     W = data.num_warps // ipl  # logical warps (subproblems)

@@ -30,7 +30,9 @@ class MultisplitResult:
     num_buckets:
         ``m``.
     timeline:
-        The emulated-kernel timeline (simulated milliseconds, per stage).
+        The emulated-kernel timeline (simulated milliseconds, per
+        stage), or ``None`` for results from the fast engine
+        (``engine="fast"``), which computes no timings.
     stable:
         Whether this implementation guarantees input order within buckets.
     """
@@ -39,23 +41,23 @@ class MultisplitResult:
     bucket_starts: np.ndarray
     method: str
     num_buckets: int
-    timeline: Timeline
+    timeline: Timeline | None
     values: np.ndarray | None = None
     stable: bool = True
     extra: dict = field(default_factory=dict)
 
     @property
     def simulated_ms(self) -> float:
-        """Total simulated run time in milliseconds."""
-        return self.timeline.total_ms
+        """Total simulated run time in milliseconds (0.0 without a timeline)."""
+        return self.timeline.total_ms if self.timeline is not None else 0.0
 
     def stage_ms(self, stage: str) -> float:
         """Simulated milliseconds of one stage (``prescan``/``scan``/``postscan``…)."""
-        return self.timeline.stage_ms(stage)
+        return self.timeline.stage_ms(stage) if self.timeline is not None else 0.0
 
     def stages(self) -> dict[str, float]:
-        """Per-stage simulated milliseconds."""
-        return self.timeline.stages()
+        """Per-stage simulated milliseconds (empty without a timeline)."""
+        return self.timeline.stages() if self.timeline is not None else {}
 
     def bucket(self, i: int) -> np.ndarray:
         """View of bucket ``i``'s keys."""
@@ -71,9 +73,26 @@ class MultisplitResult:
             raise IndexError(f"bucket {i} out of range [0, {self.num_buckets})")
         return self.values[self.bucket_starts[i]:self.bucket_starts[i + 1]]
 
-    def bucket_sizes(self) -> np.ndarray:
+    def bucket_slice(self, i: int) -> slice:
+        """``slice(bucket_starts[i], bucket_starts[i+1])`` for bucket ``i``."""
+        if not 0 <= i < self.num_buckets:
+            raise IndexError(f"bucket {i} out of range [0, {self.num_buckets})")
+        return slice(int(self.bucket_starts[i]), int(self.bucket_starts[i + 1]))
+
+    def bucket_slices(self) -> list[slice]:
+        """One :class:`slice` per bucket, indexing ``keys``/``values``."""
+        starts = self.bucket_starts
+        return [slice(int(starts[i]), int(starts[i + 1]))
+                for i in range(self.num_buckets)]
+
+    @property
+    def bucket_counts(self) -> np.ndarray:
         """``(m,)`` histogram implied by the bucket boundaries."""
         return np.diff(self.bucket_starts)
+
+    def bucket_sizes(self) -> np.ndarray:
+        """Alias of :attr:`bucket_counts` (kept for compatibility)."""
+        return self.bucket_counts
 
     def throughput_gkeys(self) -> float:
         """Simulated processing rate in G keys/s."""
@@ -83,7 +102,9 @@ class MultisplitResult:
 
     def __repr__(self) -> str:
         kv = "key-value" if self.values is not None else "key-only"
+        timing = (f"{self.simulated_ms:.3f} simulated ms"
+                  if self.timeline is not None else "fast engine, no timeline")
         return (
             f"MultisplitResult({self.method}, n={self.keys.size}, m={self.num_buckets}, "
-            f"{kv}, {self.simulated_ms:.3f} simulated ms)"
+            f"{kv}, {timing})"
         )

@@ -64,7 +64,7 @@ def _block_sort_cost(k, num_blocks: int, tile: int, payload_bytes: int) -> None:
 
 def sparse_block_multisplit(keys: np.ndarray, spec: BucketSpec, *,
                             values: np.ndarray | None = None, device=None,
-                            warps_per_block: int = 8) -> MultisplitResult:
+                            warps_per_block: int = 8, workspace=None) -> MultisplitResult:
     """Stable multisplit with sparse (compressed) block histograms.
 
     Intended for large bucket counts (``m > 32``); it accepts any ``m``
@@ -74,7 +74,7 @@ def sparse_block_multisplit(keys: np.ndarray, spec: BucketSpec, *,
     m = spec.num_buckets
     nw = warps_per_block
     tile = nw * WARP_WIDTH
-    data = prepare_input(keys, spec, values, tile_lanes=tile)
+    data = prepare_input(keys, spec, values, tile_lanes=tile, workspace=workspace)
     n = data.n
     kv = data.values is not None
     W = data.num_warps

@@ -28,7 +28,7 @@ __all__ = ["warp_level_multisplit"]
 
 def warp_level_multisplit(keys: np.ndarray, spec: BucketSpec, *,
                           values: np.ndarray | None = None, device=None,
-                          warps_per_block: int = 8) -> MultisplitResult:
+                          warps_per_block: int = 8, workspace=None) -> MultisplitResult:
     """Stable multisplit with warp-sized subproblems and warp reordering."""
     dev = resolve_device(device)
     m = spec.num_buckets
@@ -37,7 +37,7 @@ def warp_level_multisplit(keys: np.ndarray, spec: BucketSpec, *,
             f"warp-level MS supports m <= {WARP_WIDTH} buckets (got {m}); "
             "use block_level_multisplit or reduced_bit_multisplit"
         )
-    data = prepare_input(keys, spec, values)
+    data = prepare_input(keys, spec, values, workspace=workspace)
     W = data.num_warps
     n = data.n
     kv = data.values is not None

@@ -54,7 +54,12 @@ class Timeline:
         return sum(r.total_ms for r in self.records)
 
     def stage_ms(self, stage: str) -> float:
-        """Sum of kernel times whose name starts with ``stage``."""
+        """Sum of kernel times whose stage label equals ``stage``.
+
+        The stage label is the part of the record name before the first
+        ``':'`` (``"prescan:warp_histogram"`` -> ``"prescan"``); the
+        match is exact, not a prefix test.
+        """
         return sum(r.total_ms for r in self.records if r.stage == stage)
 
     def stages(self) -> dict[str, float]:

@@ -1,0 +1,91 @@
+"""Batched dispatch: ordering, shared/per-item specs, engines, fan-out."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Workspace
+from repro.multisplit import (
+    DeltaBuckets,
+    RangeBuckets,
+    multisplit,
+    multisplit_batch,
+)
+
+
+def make_batch(count, seed=0, lo=100, hi=3000):
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(lo, hi, count)
+    return [rng.integers(0, 2**32, int(s), dtype=np.uint32) for s in sizes]
+
+
+class TestBatch:
+    def test_results_match_single_calls_in_order(self):
+        batch = make_batch(6)
+        spec = RangeBuckets(8)
+        results = multisplit_batch(batch, spec, method="warp")
+        assert len(results) == 6
+        for keys, res in zip(batch, results):
+            single = multisplit(keys, spec, method="warp", engine="fast")
+            assert np.array_equal(res.keys, single.keys)
+            assert np.array_equal(res.bucket_starts, single.bucket_starts)
+            assert res.timeline is None
+
+    def test_per_item_specs_and_values(self):
+        batch = make_batch(3, seed=1)
+        specs = [RangeBuckets(2), RangeBuckets(8), DeltaBuckets(1e7, 16)]
+        values = [np.arange(k.size, dtype=np.uint32) for k in batch]
+        results = multisplit_batch(batch, specs, values_batch=values)
+        for keys, vals, spec, res in zip(batch, values, specs, results):
+            assert res.num_buckets == spec.num_buckets
+            single = multisplit(keys, spec, values=vals, engine="fast")
+            assert np.array_equal(res.keys, single.keys)
+            assert np.array_equal(res.values, single.values)
+
+    def test_threaded_fanout_matches_sequential(self):
+        # large enough to cross the parallel thresholds
+        batch = make_batch(8, seed=2, lo=40_000, hi=70_000)
+        spec = RangeBuckets(16)
+        seq = multisplit_batch(batch, spec, max_workers=1)
+        par = multisplit_batch(batch, spec, max_workers=4)
+        for a, b in zip(seq, par):
+            assert np.array_equal(a.keys, b.keys)
+            assert np.array_equal(a.bucket_starts, b.bucket_starts)
+
+    def test_emulate_engine_returns_timelines(self):
+        batch = make_batch(3, seed=3, lo=100, hi=400)
+        results = multisplit_batch(batch, RangeBuckets(4), engine="emulate",
+                                   method="warp")
+        for res in results:
+            assert res.timeline is not None and res.simulated_ms > 0
+
+    def test_rejects_output_pooling_workspace(self):
+        batch = make_batch(2, seed=4)
+        with pytest.raises(ValueError, match="reuse_outputs"):
+            multisplit_batch(batch, RangeBuckets(4), workspace=Workspace())
+
+    def test_scratch_workspace_accepted(self):
+        batch = make_batch(3, seed=5)
+        ws = Workspace(reuse_outputs=False)
+        results = multisplit_batch(batch, RangeBuckets(4), workspace=ws)
+        # every result owns distinct storage despite the shared arena
+        bases = {id(r.keys.base) if r.keys.base is not None else id(r.keys)
+                 for r in results}
+        assert len(bases) == len(results)
+
+    def test_mismatched_lengths_rejected(self):
+        batch = make_batch(3, seed=6)
+        with pytest.raises(ValueError):
+            multisplit_batch(batch, [RangeBuckets(4)] * 2)
+        with pytest.raises(ValueError):
+            multisplit_batch(batch, RangeBuckets(4),
+                             values_batch=[None] * 2)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            multisplit_batch(make_batch(1), RangeBuckets(4), engine="warp9000")
+
+    def test_empty_batch_and_empty_items(self):
+        assert multisplit_batch([], RangeBuckets(4)) == []
+        res = multisplit_batch([np.zeros(0, dtype=np.uint32)], RangeBuckets(4))
+        assert res[0].keys.size == 0
+        assert np.array_equal(res[0].bucket_starts, np.zeros(5, dtype=np.int64))

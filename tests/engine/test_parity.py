@@ -1,0 +1,158 @@
+"""Seeded fuzz: engine="fast" must match engine="emulate" bit for bit.
+
+The satellite matrix: all methods x m in {1, 2, 8, 32, 33, 200} x
+skewed/uniform/delta key distributions, plus the n = 0 and
+all-one-bucket edges, key-only and key-value.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineParityError, check_engine_parity, parity_report
+from repro.multisplit import DeltaBuckets, RangeBuckets, multisplit
+from repro.simt.config import WARP_WIDTH
+
+MS = [1, 2, 8, 32, 33, 200]
+METHODS = ["direct", "warp", "block", "sparse_block", "scan_split",
+           "recursive_split", "reduced_bit", "radix_sort", "randomized"]
+DISTRIBUTIONS = ["uniform", "skewed", "delta"]
+N = 1010  # off the tile grid so padding paths run
+
+
+def applicable(method: str, m: int) -> bool:
+    if method == "warp":
+        return m <= WARP_WIDTH
+    if method == "scan_split":
+        return m == 2
+    return True
+
+
+def make_case(distribution: str, m: int, n: int = N, seed: int = 0):
+    """(keys, spec) for one distribution; all are radix-sort monotone."""
+    rng = np.random.default_rng(seed + 7 * m)
+    if distribution == "uniform":
+        return rng.integers(0, 2**32, n, dtype=np.uint32), RangeBuckets(m)
+    if distribution == "skewed":
+        # keys piled into the bottom ~1/64 of the domain: most buckets empty
+        keys = rng.integers(0, 2**26, n, dtype=np.uint32)
+        return keys, RangeBuckets(m)
+    # delta-stepping style bucketing: floor(key / delta) clamped to m-1
+    keys = rng.integers(0, 50_000, n, dtype=np.uint32)
+    return keys, DeltaBuckets(997.25, m)
+
+
+@pytest.mark.parametrize("m", MS)
+@pytest.mark.parametrize("method", METHODS)
+def test_parity_uniform_key_value(method, m):
+    if not applicable(method, m):
+        pytest.skip(f"{method} does not support m={m}")
+    keys, spec = make_case("uniform", m)
+    values = np.arange(keys.size, dtype=np.uint32)
+    check_engine_parity(keys, spec, values=values, method=method)
+
+
+@pytest.mark.parametrize("distribution", ["skewed", "delta"])
+@pytest.mark.parametrize("m", MS)
+@pytest.mark.parametrize("method", METHODS)
+def test_parity_distributions_key_only(method, m, distribution):
+    if not applicable(method, m):
+        pytest.skip(f"{method} does not support m={m}")
+    keys, spec = make_case(distribution, m)
+    check_engine_parity(keys, spec, method=method)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_parity_empty_input(method):
+    m = 2 if method == "scan_split" else 8
+    keys = np.zeros(0, dtype=np.uint32)
+    check_engine_parity(keys, RangeBuckets(m), method=method)
+    check_engine_parity(keys, RangeBuckets(m),
+                        values=np.zeros(0, dtype=np.uint32), method=method)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_parity_all_one_bucket(method):
+    m = 2 if method == "scan_split" else 8
+    keys = np.full(517, 3, dtype=np.uint32)  # everything lands in bucket 0
+    values = np.arange(517, dtype=np.uint32)
+    check_engine_parity(keys, RangeBuckets(m), values=values, method=method)
+
+
+def test_parity_auto_and_enum_method():
+    keys = np.random.default_rng(5).integers(0, 2**32, 2048, dtype=np.uint32)
+    for m in (4, 64, 300):
+        fast, emu = check_engine_parity(keys, RangeBuckets(m), method="auto")
+        assert fast.method == emu.method
+
+
+def test_parity_randomized_seeds():
+    keys = np.random.default_rng(9).integers(0, 2**32, 800, dtype=np.uint32)
+    for seed in (0, 1, 1234):
+        check_engine_parity(keys, RangeBuckets(8), method="randomized", seed=seed)
+
+
+def test_parity_radix_sort_reduced_bits():
+    keys = np.random.default_rng(11).integers(0, 2**16, 700, dtype=np.uint32)
+    check_engine_parity(keys, RangeBuckets(4, lo=0, hi=2**16),
+                        method="radix_sort", bits=16)
+
+
+def test_parity_uint64_keys():
+    keys = np.random.default_rng(13).integers(0, 2**32, 600).astype(np.uint64)
+    check_engine_parity(keys, RangeBuckets(8), method="direct")
+    check_engine_parity(keys, RangeBuckets(8), method="block")
+
+
+def test_fast_engine_contract_mirrors_emulate():
+    keys = np.arange(64, dtype=np.uint32)
+    with pytest.raises(ValueError):
+        multisplit(keys, RangeBuckets(33), method="warp", engine="fast")
+    with pytest.raises(ValueError):
+        multisplit(keys, RangeBuckets(3), method="scan_split", engine="fast")
+    with pytest.raises(ValueError):
+        multisplit(keys.astype(np.uint64), RangeBuckets(4), method="reduced_bit",
+                   values=keys.copy(), engine="fast")
+    with pytest.raises(ValueError):
+        multisplit(keys, RangeBuckets(4), engine="bogus")
+
+
+def test_fast_result_has_no_timeline():
+    keys = np.random.default_rng(1).integers(0, 2**32, 512, dtype=np.uint32)
+    res = multisplit(keys, RangeBuckets(8), engine="fast")
+    assert res.timeline is None
+    assert res.simulated_ms == 0.0
+    assert res.stages() == {}
+    assert res.stage_ms("prescan") == 0.0
+    assert "fast engine" in repr(res)
+    assert res.extra["engine"] == "fast"
+
+
+def test_parity_report_flags_divergence():
+    keys = np.random.default_rng(2).integers(0, 2**32, 256, dtype=np.uint32)
+    rep = parity_report(keys, RangeBuckets(4), method="direct")
+    assert rep["match"] and rep["mismatches"] == []
+    # a divergent permutation must be reported with its first bad index
+    from repro.engine.parity import _compare
+    sabotaged = rep["fast"].keys.copy()
+    sabotaged[3] ^= np.uint32(1)
+    msg = _compare("keys", sabotaged, rep["emulate"].keys)
+    assert msg is not None and "index 3" in msg
+
+
+def test_check_engine_parity_raises_on_divergence(monkeypatch):
+    # force the engines apart by lying about the fast result
+    import repro.engine.parity as parity_mod
+    keys = np.random.default_rng(3).integers(0, 2**32, 128, dtype=np.uint32)
+
+    real = parity_mod.parity_report
+
+    def broken(*args, **kwargs):
+        rep = real(*args, **kwargs)
+        rep["fast"].keys[0] ^= np.uint32(1)
+        rep["match"] = False
+        rep["mismatches"] = ["keys: forced divergence"]
+        return rep
+
+    monkeypatch.setattr(parity_mod, "parity_report", broken)
+    with pytest.raises(EngineParityError):
+        parity_mod.check_engine_parity(keys, RangeBuckets(4), method="direct")
