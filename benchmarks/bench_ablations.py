@@ -14,9 +14,9 @@ import pytest
 
 from repro.analysis import run_method
 from repro.analysis.tables import render_table
-from repro.multisplit import RangeBuckets, warp_histogram
+from repro.multisplit import warp_histogram
 from repro.primitives import histogram_atomic, histogram_per_thread
-from repro.simt import Device, K40C, CostModel, WarpGang
+from repro.simt import Device, K40C, CostModel
 from repro.workloads import uniform_keys
 
 

@@ -6,7 +6,7 @@ Paper (K40c): radix sort 22.36 ms key / 37.36 ms kv; scan-based split
 
 import pytest
 
-from repro.analysis import run_method, run_radix_baseline, N_PAPER
+from repro.analysis import run_method, run_radix_baseline
 from repro.analysis.paper_data import TABLE3
 from repro.analysis.tables import render_table
 

@@ -8,7 +8,7 @@ identity buckets) and prints it next to the published numbers.
 
 import pytest
 
-from repro.analysis import run_method, N_PAPER
+from repro.analysis import run_method
 from repro.analysis.paper_data import TABLE4
 from repro.analysis.tables import render_table
 from repro.multisplit import recursive_split_lower_bound_ms

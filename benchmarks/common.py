@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.analysis import run_method, run_radix_baseline, N_PAPER
+from repro.analysis import run_method, N_PAPER
 from repro.simt.config import DeviceSpec, K40C
 
 __all__ = ["collect_totals", "paper_vs_model_row", "N_PAPER"]

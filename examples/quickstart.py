@@ -51,7 +51,7 @@ def throughput_demo():
     print(f"  bucket sizes: {res.bucket_counts.tolist()}")
     print(f"  simulated K40c time: {res.simulated_ms:.3f} ms "
           f"({res.throughput_gkeys():.2f} G keys/s)")
-    print(f"  stage breakdown: "
+    print("  stage breakdown: "
           + ", ".join(f"{k}={v:.3f} ms" for k, v in res.stages().items()))
 
     # production callers that only need the permuted output skip the

@@ -16,7 +16,9 @@ from repro import multisplit_kv, CustomBuckets, check_multisplit
 
 def pack_direction(dx, dy, dz):
     """Quantize a direction to 10 bits per axis and pack into a key."""
-    q = lambda v: np.clip(((v + 1.0) * 511.5).astype(np.uint32), 0, 1023)
+    def q(v):
+        return np.clip(((v + 1.0) * 511.5).astype(np.uint32), 0, 1023)
+
     return (q(dx) << np.uint32(20)) | (q(dy) << np.uint32(10)) | q(dz)
 
 

@@ -33,7 +33,6 @@ def main():
             if bucketing == "multisplit":
                 # verify against the serial oracle
                 assert np.allclose(dist, dijkstra(g, 0), equal_nan=True)
-                overhead = stats["bucketing_ms"] / stats["simulated_ms"]
         rows.append([
             name, f"V={g.num_vertices} E={g.num_edges}",
             f"{times['multisplit'] * 1e3:.1f}",

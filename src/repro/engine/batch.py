@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.multisplit.bucketing import BucketSpec, as_bucket_spec
 from repro.multisplit.result import MultisplitResult
+from repro.obs import get_registry
 from .workspace import Workspace
 
 __all__ = ["multisplit_batch"]
@@ -81,6 +82,10 @@ def multisplit_batch(keys_batch, spec_or_fn, num_buckets: int | None = None, *,
                 f"got {len(values_batch)} value arrays for a batch of {count} inputs")
     specs = _resolve_specs(spec_or_fn, num_buckets, count)
 
+    reg = get_registry()
+    reg.inc("batch.calls", 1, engine=engine)
+    reg.inc("batch.items", count, engine=engine)
+
     if engine == "emulate":
         from repro.multisplit.api import multisplit
         return [multisplit(k, s, values=v, method=method, device=device, **kwargs)
@@ -94,16 +99,41 @@ def multisplit_batch(keys_batch, spec_or_fn, num_buckets: int | None = None, *,
 
     from .fused import fast_multisplit
 
-    def run_one(item, ws: Workspace):
-        k, s, v = item
-        return fast_multisplit(k, s, values=v, method=method, workspace=ws,
-                               **kwargs)
+    # enabled-mode accounting shared by the pool threads: per-item
+    # latency plus the executing-item high-water mark (queue depth)
+    if reg.enabled:
+        item_timer = reg.timer("batch.item_ms")
+        depth_gauge = reg.gauge("batch.max_concurrency")
+        depth_lock = threading.Lock()
+        in_flight = [0]
+
+        def run_one(item, ws: Workspace):
+            k, s, v = item
+            with depth_lock:
+                in_flight[0] += 1
+                depth_gauge.record_max(in_flight[0])
+            try:
+                with item_timer.time():
+                    return fast_multisplit(k, s, values=v, method=method,
+                                           workspace=ws, **kwargs)
+            finally:
+                with depth_lock:
+                    in_flight[0] -= 1
+    else:
+        def run_one(item, ws: Workspace):
+            k, s, v = item
+            return fast_multisplit(k, s, values=v, method=method, workspace=ws,
+                                   **kwargs)
 
     items = list(zip(keys_batch, specs, values_batch))
     total_keys = sum(np.asarray(k).size for k in keys_batch)
     parallel = (count >= _MIN_PARALLEL_ITEMS
                 and total_keys >= _MIN_PARALLEL_KEYS
                 and (max_workers is None or max_workers > 1))
+    if reg.enabled:
+        reg.inc("batch.keys", total_keys, engine=engine)
+        reg.set_gauge("batch.fan_out", count)
+        reg.set_gauge("batch.parallel", int(parallel))
     if not parallel:
         ws = workspace if workspace is not None else Workspace(reuse_outputs=False)
         return [run_one(item, ws) for item in items]

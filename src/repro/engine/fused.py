@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.multisplit.bucketing import BucketSpec, as_bucket_spec
 from repro.multisplit.result import MultisplitResult
+from repro.obs import get_registry
 from repro.simt.config import WARP_WIDTH
 from .workspace import Workspace, out_buffer
 
@@ -97,15 +98,23 @@ def fast_multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None
             "and therefore requires 32-bit keys; use direct/warp/block/"
             "sparse_block for 64-bit key-value pairs")
 
-    if method in STABLE_METHODS:
-        return _fused_stable(keys, spec, values, method, workspace)
-    if method == "radix_sort":
-        return _fused_sort_based(keys, spec, values, workspace,
-                                 bits=int(kwargs.get("bits", 32)))
-    return _fused_randomized(keys, spec, values, workspace,
-                             relaxation=float(kwargs.get("relaxation", 2.0)),
-                             warps_per_block=int(kwargs.get("warps_per_block", 8)),
-                             seed=kwargs.get("seed", 0))
+    reg = get_registry()
+    reg.inc("engine.fast.calls", 1, method=method)
+    if reg.enabled:
+        reg.inc("engine.fast.keys", keys.size, method=method)
+        reg.inc("engine.fast.buckets", m, method=method)
+    with reg.timer("engine.fast.run_ms", method=method,
+                   kv=values is not None).time():
+        if method in STABLE_METHODS:
+            return _fused_stable(keys, spec, values, method, workspace)
+        if method == "radix_sort":
+            return _fused_sort_based(keys, spec, values, workspace,
+                                     bits=int(kwargs.get("bits", 32)))
+        return _fused_randomized(
+            keys, spec, values, workspace,
+            relaxation=float(kwargs.get("relaxation", 2.0)),
+            warps_per_block=int(kwargs.get("warps_per_block", 8)),
+            seed=kwargs.get("seed", 0))
 
 
 # ---------------------------------------------------------------------------

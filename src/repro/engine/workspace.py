@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import get_registry
+
 __all__ = ["Workspace"]
 
 
@@ -63,8 +65,14 @@ class Workspace:
             buf = np.empty(max(size, 1), dtype=dtype)
             self._slots[key] = buf
             self.misses += 1
+            reg = get_registry()
+            if reg.enabled:
+                reg.inc("workspace.misses", 1, slot=slot)
+                reg.inc("workspace.alloc_bytes", buf.nbytes, slot=slot)
+                reg.set_gauge("workspace.nbytes", self.nbytes)
         else:
             self.hits += 1
+            get_registry().inc("workspace.hits", 1, slot=slot)
         return buf[:size]
 
     def out(self, slot: str, size: int, dtype) -> np.ndarray:
@@ -81,6 +89,12 @@ class Workspace:
     def clear(self) -> None:
         """Release every pooled buffer (counters are kept)."""
         self._slots.clear()
+
+    def publish(self, registry=None, **labels) -> None:
+        """Export cumulative hits/misses/bytes as registry gauges."""
+        from repro.obs import export_workspace
+        export_workspace(registry if registry is not None else get_registry(),
+                         self, **labels)
 
     def __repr__(self) -> str:
         return (f"Workspace(slots={len(self._slots)}, nbytes={self.nbytes}, "

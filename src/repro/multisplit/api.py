@@ -25,7 +25,9 @@ import enum
 
 import numpy as np
 
-from .bucketing import BucketSpec, as_bucket_spec
+from repro.obs import get_registry
+
+from .bucketing import as_bucket_spec
 from .block_level import block_level_multisplit
 from .direct import direct_multisplit
 from .randomized import randomized_multisplit
@@ -109,6 +111,12 @@ def multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
     if method is Method.AUTO:
         method = _pick_auto(spec.num_buckets)
 
+    reg = get_registry()
+    reg.inc("api.multisplit.calls", 1, engine=engine, method=method.value)
+    if reg.enabled:
+        reg.inc("api.multisplit.keys", np.asarray(keys).size,
+                engine=engine, method=method.value)
+
     if engine == "fast":
         from repro.engine import fast_multisplit
         return fast_multisplit(keys, spec, values=values, method=method.value,
@@ -122,6 +130,14 @@ def multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
         # have no padded scratch for a workspace to reuse
         kwargs["workspace"] = workspace
 
+    with reg.timer("api.multisplit.wall_ms", engine="emulate",
+                   method=method.value).time():
+        return _run_emulated(method, keys, spec, values, device,
+                             warps_per_block, kwargs)
+
+
+def _run_emulated(method: Method, keys, spec, values, device,
+                  warps_per_block: int, kwargs) -> MultisplitResult:
     if method is Method.DIRECT:
         return direct_multisplit(keys, spec, values=values, device=device,
                                  warps_per_block=warps_per_block, **kwargs)

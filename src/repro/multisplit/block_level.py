@@ -27,7 +27,7 @@ from repro.primitives.scan import device_exclusive_scan, block_exclusive_scan_co
 from repro.simt.bits import ilog2_ceil
 from repro.simt.config import WARP_WIDTH
 from .bucketing import BucketSpec
-from ._common import prepare_input, resolve_device, KEY_BYTES, VALUE_BYTES
+from ._common import prepare_input, resolve_device, VALUE_BYTES
 from .result import MultisplitResult
 from .warp_ops import warp_histogram, warp_histogram_and_offsets
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from .api import multisplit, Method
-from .bucketing import BucketSpec, CustomBuckets, as_bucket_spec
+from .bucketing import BucketSpec, as_bucket_spec
 from .result import MultisplitResult
 
 __all__ = ["encode_keys", "decode_keys", "multisplit_any"]

@@ -28,7 +28,7 @@ from repro.primitives.histogram import histogram_per_thread
 from repro.primitives.scan import device_exclusive_scan
 from repro.simt.config import WARP_WIDTH
 from .bucketing import BucketSpec
-from ._common import resolve_device, KEY_BYTES, VALUE_BYTES
+from ._common import resolve_device, VALUE_BYTES
 from .result import MultisplitResult
 
 __all__ = ["randomized_multisplit"]

@@ -21,7 +21,7 @@ from repro.primitives.scan import device_exclusive_scan
 from repro.simt.bits import ilog2_ceil
 from repro.simt.config import WARP_WIDTH
 from .bucketing import BucketSpec
-from ._common import resolve_device, KEY_BYTES, VALUE_BYTES
+from ._common import resolve_device, VALUE_BYTES
 from .result import MultisplitResult
 
 __all__ = [

@@ -39,7 +39,7 @@ from repro.simt.bits import ilog2_ceil
 from repro.simt.config import WARP_WIDTH
 from repro.sort.radix import radix_sort
 from .bucketing import BucketSpec
-from ._common import prepare_input, resolve_device, KEY_BYTES, VALUE_BYTES
+from ._common import prepare_input, resolve_device, VALUE_BYTES
 from .block_level import _block_ranks, _permute_by_block, _gather_output
 from .result import MultisplitResult
 

@@ -1,0 +1,282 @@
+"""Baseline comparison for bench records: tolerance bands + report.
+
+The regression gate the CI ``bench-regress`` job runs. Current records
+(fresh ``BENCH_<name>.json`` files) are diffed against the committed
+``benchmarks/baselines/`` records:
+
+* metrics listed in the baseline's ``exact`` list are deterministic —
+  **any** difference is a regression (the paper's argument is built on
+  audited counters, so counter drift is a correctness event, not noise);
+* every other metric, and the per-bench ``wall_ms``, is wall-clock-like
+  and fails only beyond a relative tolerance band (default +25%) *and*
+  an absolute floor (default 5 ms, so microsecond jitter on trivial
+  benches cannot flap the gate). Improvements never fail; large ones
+  are surfaced so stale baselines get refreshed.
+
+Exit-code contract (``python -m repro bench --compare``):
+
+* ``0`` — every compared metric within tolerance
+* ``1`` — at least one regression
+* ``2`` — schema error (invalid/missing record, version or config
+  mismatch — the comparison itself is meaningless)
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+from .schema import BenchSchemaError, load_record
+
+__all__ = [
+    "MetricDiff",
+    "CompareReport",
+    "compare_records",
+    "compare_dirs",
+    "render_report",
+    "EXIT_OK",
+    "EXIT_REGRESSION",
+    "EXIT_SCHEMA",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_WALL_FLOOR_MS",
+]
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_SCHEMA = 2
+
+DEFAULT_TOLERANCE = 0.25
+DEFAULT_WALL_FLOOR_MS = 5.0
+
+_PASS, _FAIL, _IMPROVED, _NEW = "pass", "FAIL", "improved", "new"
+
+
+@dataclass
+class MetricDiff:
+    """One compared metric."""
+
+    bench: str
+    metric: str
+    baseline: float
+    current: float
+    kind: str  # "exact" | "wall"
+    status: str  # pass | FAIL | improved | new
+
+    @property
+    def delta_pct(self) -> float:
+        if self.baseline == 0:
+            return 0.0 if self.current == 0 else float("inf")
+        return (self.current - self.baseline) / abs(self.baseline) * 100.0
+
+
+@dataclass
+class CompareReport:
+    """The full diff of current records against baselines."""
+
+    diffs: list[MetricDiff] = field(default_factory=list)
+    schema_errors: list[str] = field(default_factory=list)
+    missing_baselines: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDiff]:
+        return [d for d in self.diffs if d.status == _FAIL]
+
+    @property
+    def exit_code(self) -> int:
+        if self.schema_errors:
+            return EXIT_SCHEMA
+        if self.regressions:
+            return EXIT_REGRESSION
+        return EXIT_OK
+
+
+def _diff_metric(
+    bench: str,
+    name: str,
+    base: float,
+    cur: float,
+    kind: str,
+    *,
+    tolerance: float,
+    wall_floor_ms: float,
+) -> MetricDiff:
+    if kind == "exact":
+        status = _PASS if cur == base else _FAIL
+    else:
+        worse = cur - base
+        if worse > max(abs(base) * tolerance, 0.0) and worse > wall_floor_ms:
+            status = _FAIL
+        elif -worse > abs(base) * tolerance and -worse > wall_floor_ms:
+            status = _IMPROVED
+        else:
+            status = _PASS
+    return MetricDiff(bench, name, base, cur, kind, status)
+
+
+def compare_records(
+    current: dict,
+    baseline: dict,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    wall_floor_ms: float = DEFAULT_WALL_FLOOR_MS,
+) -> CompareReport:
+    """Diff one current record against its baseline."""
+    report = CompareReport()
+    bench = baseline.get("bench", "?")
+    cur_name, base_name = current.get("bench"), baseline.get("bench")
+    if cur_name != base_name:
+        report.schema_errors.append(
+            f"{bench}: bench name mismatch ({cur_name!r} vs {base_name!r})",
+        )
+        return report
+    if current.get("config") != baseline.get("config"):
+        msg = (
+            f"{bench}: config mismatch — current {current.get('config')} vs "
+            f"baseline {baseline.get('config')}; refresh the baseline"
+        )
+        report.schema_errors.append(msg)
+        return report
+
+    exact = set(baseline.get("exact", ()))
+    cur_metrics = current["metrics"]
+    for name, base_value in baseline["metrics"].items():
+        if name not in cur_metrics:
+            msg = (
+                f"{bench}: metric {name!r} present in baseline but missing "
+                "from the current run"
+            )
+            report.schema_errors.append(msg)
+            continue
+        kind = "exact" if name in exact else "wall"
+        diff = _diff_metric(
+            bench,
+            name,
+            base_value,
+            cur_metrics[name],
+            kind,
+            tolerance=tolerance,
+            wall_floor_ms=wall_floor_ms,
+        )
+        report.diffs.append(diff)
+    for name in sorted(set(cur_metrics) - set(baseline["metrics"])):
+        diff = MetricDiff(bench, name, float("nan"), cur_metrics[name], "wall", _NEW)
+        report.diffs.append(diff)
+    wall_diff = _diff_metric(
+        bench,
+        "wall_ms",
+        baseline["wall_ms"],
+        current["wall_ms"],
+        "wall",
+        tolerance=tolerance,
+        wall_floor_ms=wall_floor_ms,
+    )
+    report.diffs.append(wall_diff)
+    return report
+
+
+def _merge(into: CompareReport, other: CompareReport) -> None:
+    into.diffs.extend(other.diffs)
+    into.schema_errors.extend(other.schema_errors)
+    into.missing_baselines.extend(other.missing_baselines)
+
+
+def compare_dirs(
+    current_dir,
+    baseline_dir,
+    names=None,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    wall_floor_ms: float = DEFAULT_WALL_FLOOR_MS,
+) -> CompareReport:
+    """Diff every ``BENCH_<name>.json`` in ``current_dir`` against baselines.
+
+    ``names`` restricts the comparison; otherwise every baseline record
+    is expected to have a current counterpart.
+    """
+    current_dir = pathlib.Path(current_dir)
+    baseline_dir = pathlib.Path(baseline_dir)
+    report = CompareReport()
+    if names is None:
+        paths = sorted(baseline_dir.glob("BENCH_*.json"))
+        names = [p.stem.removeprefix("BENCH_") for p in paths]
+        if not names:
+            report.schema_errors.append(
+                f"no BENCH_*.json baselines found in {baseline_dir}",
+            )
+            return report
+    for name in names:
+        base_path = baseline_dir / f"BENCH_{name}.json"
+        cur_path = current_dir / f"BENCH_{name}.json"
+        if not base_path.exists():
+            report.missing_baselines.append(name)
+            msg = (
+                f"{name}: no baseline at {base_path} "
+                "(run with --update-baselines to create it)"
+            )
+            report.schema_errors.append(msg)
+            continue
+        try:
+            baseline = load_record(base_path)
+            current = load_record(cur_path)
+        except BenchSchemaError as e:
+            report.schema_errors.append(str(e))
+            continue
+        sub = compare_records(
+            current,
+            baseline,
+            tolerance=tolerance,
+            wall_floor_ms=wall_floor_ms,
+        )
+        _merge(report, sub)
+    return report
+
+
+def render_report(
+    report: CompareReport,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> str:
+    """Human-readable regression report (CI uploads this as an artifact)."""
+    lines = ["bench regression report", "=" * 60]
+    if report.schema_errors:
+        lines.append("\nSCHEMA ERRORS (exit 2 — comparison not meaningful):")
+        for err in report.schema_errors:
+            lines.append(f"  ! {err}")
+    if report.diffs:
+        header = (
+            f"\n{'bench':<12} {'metric':<40} {'baseline':>12} "
+            f"{'current':>12} {'delta':>9}  status"
+        )
+        lines.append(header)
+        lines.append("-" * 95)
+        order = {_FAIL: 0, _IMPROVED: 1, _NEW: 2, _PASS: 3}
+
+        def sort_key(d):
+            return order[d.status], d.bench, d.metric
+
+        for d in sorted(report.diffs, key=sort_key):
+            delta = "" if d.status == _NEW else f"{d.delta_pct:+8.1f}%"
+            base = "" if d.status == _NEW else f"{d.baseline:12.4g}"
+            row = (
+                f"{d.bench:<12} {d.metric:<40} {base:>12} "
+                f"{d.current:12.4g} {delta:>9}  {d.status}"
+            )
+            lines.append(row)
+    n_fail = len(report.regressions)
+    n_pass = sum(1 for d in report.diffs if d.status == _PASS)
+    n_impr = sum(1 for d in report.diffs if d.status == _IMPROVED)
+    lines.append("-" * 95)
+    summary = (
+        f"{n_pass} within tolerance (exact: 0%, wall: +{tolerance:.0%}), "
+        f"{n_impr} improved, {n_fail} regressed, "
+        f"{len(report.schema_errors)} schema errors"
+    )
+    lines.append(summary)
+    if n_impr:
+        note = (
+            "note: large improvements mean the committed baseline is "
+            "stale — refresh with --update-baselines"
+        )
+        lines.append(note)
+    lines.append(f"exit code: {report.exit_code}")
+    return "\n".join(lines)

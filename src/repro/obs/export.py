@@ -1,0 +1,51 @@
+"""Exporters that surface existing accounting into the registry.
+
+The SIMT emulator already audits every kernel launch into a
+:class:`~repro.simt.counters.KernelCounters`, and the fast engine's
+:class:`~repro.engine.workspace.Workspace` already tracks arena
+hits/misses/bytes. These helpers copy that accounting into the shared
+:class:`~repro.obs.MetricsRegistry` schema so one snapshot covers both
+engines.
+"""
+
+from __future__ import annotations
+
+from .registry import MetricsRegistry
+
+__all__ = ["export_kernel_counters", "export_workspace"]
+
+# the additive work fields of KernelCounters, exported one counter each
+_COUNTER_FIELDS = (
+    "global_read_bytes_useful",
+    "global_read_sectors",
+    "global_write_bytes_useful",
+    "global_write_sectors",
+    "global_issue_runs",
+    "warp_instructions",
+    "shared_accesses",
+    "atomic_ops",
+)
+
+
+def export_kernel_counters(registry: MetricsRegistry, counters, **labels) -> None:
+    """Accumulate one emulated kernel's audited work into ``registry``.
+
+    Called by :meth:`repro.simt.Device._record` for every priced launch
+    when metrics are enabled. Series are named ``simt.<field>`` and
+    labeled with the kernel/stage plus any caller labels.
+    """
+    labels.setdefault("kernel", counters.name)
+    labels.setdefault("stage", counters.name.split(":", 1)[0])
+    registry.inc("simt.launches", 1, **labels)
+    for fname in _COUNTER_FIELDS:
+        value = getattr(counters, fname)
+        if value:
+            registry.inc(f"simt.{fname}", value, **labels)
+
+
+def export_workspace(registry: MetricsRegistry, workspace, **labels) -> None:
+    """Publish a workspace arena's cumulative accounting as gauges."""
+    registry.set_gauge("workspace.hits", workspace.hits, **labels)
+    registry.set_gauge("workspace.misses", workspace.misses, **labels)
+    registry.set_gauge("workspace.nbytes", workspace.nbytes, **labels)
+    registry.set_gauge("workspace.slots", len(workspace._slots), **labels)

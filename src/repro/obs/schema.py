@@ -1,0 +1,162 @@
+"""Bench-record schema: the one output format every benchmark emits.
+
+A bench record is a JSON object::
+
+    {
+      "schema_version": 1,
+      "bench": "engine",
+      "config": {"n": 65536, "m": 32, ...},        # scalars only
+      "metrics": {"fast_warm_ms": 1.8, ...},        # name -> finite number
+      "exact": ["workspace_hits", ...],             # optional: 0-tolerance
+      "wall_ms": 240.1
+    }
+
+``metrics`` names listed in ``exact`` are deterministic quantities
+(simulated milliseconds, audited counters, arena hit counts): any
+difference from the committed baseline is a regression. Every other
+metric is wall-clock-like and compared within a tolerance band.
+
+Validation is hand-rolled (no jsonschema dependency) and *strict*:
+unknown top-level keys are rejected so schema drift fails loudly
+instead of silently passing comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchSchemaError",
+    "validate_record",
+    "check_record",
+    "make_record",
+    "load_record",
+    "dump_record",
+]
+
+SCHEMA_VERSION = 1
+
+_REQUIRED = ("schema_version", "bench", "config", "metrics", "wall_ms")
+_OPTIONAL = ("exact",)
+
+
+class BenchSchemaError(ValueError):
+    """A bench record does not conform to the schema."""
+
+
+def _is_number(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool) and math.isfinite(v)
+
+
+def _is_scalar(v) -> bool:
+    return v is None or isinstance(v, (str, bool)) or _is_number(v)
+
+
+def validate_record(obj) -> list[str]:
+    """All schema violations in ``obj`` (empty list == valid)."""
+    if not isinstance(obj, dict):
+        return [f"record must be an object, got {type(obj).__name__}"]
+    errors = []
+    for key in _REQUIRED:
+        if key not in obj:
+            errors.append(f"missing required key {key!r}")
+    allowed = set(_REQUIRED) | set(_OPTIONAL)
+    for key in sorted(set(obj) - allowed):
+        errors.append(f"unknown key {key!r}")
+
+    version = obj.get("schema_version")
+    if "schema_version" in obj and version != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version {version!r} unsupported (expected {SCHEMA_VERSION})",
+        )
+    bench = obj.get("bench")
+    if "bench" in obj and (not isinstance(bench, str) or not bench):
+        errors.append("'bench' must be a non-empty string")
+
+    config = obj.get("config")
+    if "config" in obj:
+        if not isinstance(config, dict):
+            errors.append("'config' must be an object")
+        else:
+            for k, v in config.items():
+                if not _is_scalar(v):
+                    errors.append(
+                        f"config[{k!r}] must be a scalar, got {type(v).__name__}",
+                    )
+
+    metrics = obj.get("metrics")
+    if "metrics" in obj:
+        if not isinstance(metrics, dict) or not metrics:
+            errors.append("'metrics' must be a non-empty object")
+        else:
+            for k, v in metrics.items():
+                if not isinstance(k, str):
+                    errors.append(f"metric name {k!r} must be a string")
+                elif not _is_number(v):
+                    errors.append(f"metrics[{k!r}] must be a finite number, got {v!r}")
+
+    if "wall_ms" in obj and not (_is_number(obj["wall_ms"]) and obj["wall_ms"] >= 0):
+        errors.append("'wall_ms' must be a finite number >= 0")
+
+    exact = obj.get("exact")
+    if "exact" in obj:
+        if not isinstance(exact, list) or not all(isinstance(e, str) for e in exact):
+            errors.append("'exact' must be a list of metric names")
+        elif isinstance(metrics, dict):
+            for name in exact:
+                if name not in metrics:
+                    errors.append(f"exact metric {name!r} not present in metrics")
+    return errors
+
+
+def check_record(obj, *, source: str = "record") -> dict:
+    """Return ``obj`` if valid, else raise :class:`BenchSchemaError`."""
+    errors = validate_record(obj)
+    if errors:
+        detail = "; ".join(errors)
+        raise BenchSchemaError(f"{source}: {detail}")
+    return obj
+
+
+def make_record(
+    bench: str,
+    config: dict,
+    metrics: dict,
+    wall_ms: float,
+    exact=(),
+) -> dict:
+    """Assemble and validate one bench record."""
+    rounded = {
+        k: round(v, 6) if isinstance(v, float) else v for k, v in metrics.items()
+    }
+    record = {
+        "schema_version": SCHEMA_VERSION,
+        "bench": bench,
+        "config": dict(config),
+        "metrics": rounded,
+        "wall_ms": round(float(wall_ms), 3),
+    }
+    if exact:
+        record["exact"] = sorted(exact)
+    return check_record(record, source=f"bench {bench!r}")
+
+
+def load_record(path) -> dict:
+    """Load and validate a ``BENCH_<name>.json`` file."""
+    path = pathlib.Path(path)
+    try:
+        obj = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        raise BenchSchemaError(f"{path}: unreadable bench record ({e})") from e
+    return check_record(obj, source=str(path))
+
+
+def dump_record(record: dict, path) -> pathlib.Path:
+    """Validate and write one bench record."""
+    path = pathlib.Path(path)
+    check_record(record, source=str(path))
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.simt.bits import next_pow2, ilog2_ceil
+from repro.simt.bits import next_pow2
 from repro.simt.config import WARP_WIDTH
 from repro.simt.device import KernelContext
 

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import export_kernel_counters, get_registry
+
 from .config import DeviceSpec, K40C, WARP_WIDTH
 from .costmodel import CostModel, KernelTime
 from .counters import KernelCounters
@@ -127,9 +129,14 @@ class Device:
         return KernelContext(self, name, warps_per_block, library)
 
     def _record(self, name: str, counters: KernelCounters) -> None:
-        self.timeline.records.append(
-            LaunchRecord(name, counters, self.model.kernel_time(counters))
-        )
+        record = LaunchRecord(name, counters, self.model.kernel_time(counters))
+        self.timeline.records.append(record)
+        reg = get_registry()
+        if reg.enabled:
+            export_kernel_counters(reg, counters, device=self.spec.name)
+            reg.observe_ms("simt.simulated_ms", record.total_ms,
+                           kernel=name, stage=record.stage,
+                           device=self.spec.name)
 
     def reset(self) -> None:
         """Drop all recorded launches."""

@@ -17,7 +17,7 @@ from repro.analysis import (
     timeline_csv,
     N_PAPER,
 )
-from repro.analysis.paper_data import TABLE4, TABLE5, SPEED_OF_LIGHT
+from repro.analysis.paper_data import TABLE4, SPEED_OF_LIGHT
 from repro.simt import Device, K40C, GTX750TI
 from repro.workloads import uniform_keys
 from repro.multisplit import RangeBuckets, multisplit

@@ -7,7 +7,6 @@ through the audited counters, independent of any timing.
 """
 
 import numpy as np
-import pytest
 
 from repro.multisplit import multisplit, RangeBuckets
 from repro.simt import Device, K40C

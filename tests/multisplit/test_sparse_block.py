@@ -12,7 +12,6 @@ from repro.multisplit import (
     RangeBuckets,
     check_multisplit,
 )
-from repro.simt import Device, K40C
 from repro.workloads import uniform_keys, binomial_keys
 
 

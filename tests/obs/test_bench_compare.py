@@ -1,0 +1,217 @@
+"""Tests for baseline comparison, the regression report, and exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs import (
+    EXIT_OK,
+    EXIT_REGRESSION,
+    EXIT_SCHEMA,
+    SCHEMA_VERSION,
+    compare_dirs,
+    compare_records,
+    render_report,
+)
+
+
+def record(bench="engine", *, metrics=None, exact=("counter",), wall_ms=100.0):
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": bench,
+        "config": {"n": 65536, "m": 32},
+        "metrics": dict(metrics or {"run_ms": 40.0, "counter": 1234}),
+        "exact": list(exact),
+        "wall_ms": wall_ms,
+    }
+
+
+def write(path, rec):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(rec))
+
+
+class TestCompareRecords:
+    def test_identical_records_pass(self):
+        report = compare_records(record(), record())
+        assert report.exit_code == EXIT_OK
+        assert not report.regressions
+
+    def test_wall_within_band_passes(self):
+        cur = record(metrics={"run_ms": 48.0, "counter": 1234})
+        report = compare_records(cur, record())
+        assert report.exit_code == EXIT_OK
+
+    def test_injected_2x_slowdown_fails(self):
+        # the acceptance-criteria scenario: double every wall metric
+        base = record()
+        cur = record(metrics={"run_ms": 80.0, "counter": 1234}, wall_ms=200.0)
+        report = compare_records(cur, base)
+        assert report.exit_code == EXIT_REGRESSION
+        failed = {d.metric for d in report.regressions}
+        assert failed == {"run_ms", "wall_ms"}
+
+    def test_counter_exactness_zero_tolerance(self):
+        cur = record(metrics={"run_ms": 40.0, "counter": 1235})
+        report = compare_records(cur, record())
+        assert report.exit_code == EXIT_REGRESSION
+        assert report.regressions[0].metric == "counter"
+        assert report.regressions[0].kind == "exact"
+
+    def test_wall_floor_absorbs_small_absolute_jitter(self):
+        # +50% but only +2 ms: below the absolute floor, must pass
+        base = record(metrics={"tiny_ms": 4.0, "counter": 1}, wall_ms=4.0)
+        cur = record(metrics={"tiny_ms": 6.0, "counter": 1}, wall_ms=6.0)
+        report = compare_records(cur, base, wall_floor_ms=5.0)
+        assert report.exit_code == EXIT_OK
+
+    def test_improvement_never_fails(self):
+        cur = record(metrics={"run_ms": 10.0, "counter": 1234}, wall_ms=20.0)
+        report = compare_records(cur, record())
+        assert report.exit_code == EXIT_OK
+        assert any(d.status == "improved" for d in report.diffs)
+
+    def test_config_mismatch_is_schema_error(self):
+        cur = record()
+        cur["config"]["n"] = 999
+        report = compare_records(cur, record())
+        assert report.exit_code == EXIT_SCHEMA
+        assert "config mismatch" in report.schema_errors[0]
+
+    def test_missing_metric_is_schema_error(self):
+        cur = record(metrics={"run_ms": 40.0})
+        cur["exact"] = []
+        report = compare_records(cur, record())
+        assert report.exit_code == EXIT_SCHEMA
+
+    def test_new_metric_is_informational(self):
+        cur = record(metrics={"run_ms": 40.0, "counter": 1234, "extra": 7})
+        report = compare_records(cur, record())
+        assert report.exit_code == EXIT_OK
+        assert any(d.status == "new" and d.metric == "extra" for d in report.diffs)
+
+
+class TestCompareDirs:
+    def test_all_benches_compared(self, tmp_path):
+        for name in ("a", "b", "c"):
+            write(tmp_path / "base" / f"BENCH_{name}.json", record(name))
+            write(tmp_path / "cur" / f"BENCH_{name}.json", record(name))
+        report = compare_dirs(tmp_path / "cur", tmp_path / "base")
+        assert report.exit_code == EXIT_OK
+        assert {d.bench for d in report.diffs} == {"a", "b", "c"}
+
+    def test_missing_baseline_is_schema_error(self, tmp_path):
+        write(tmp_path / "cur" / "BENCH_a.json", record("a"))
+        (tmp_path / "base").mkdir()
+        report = compare_dirs(tmp_path / "cur", tmp_path / "base", ["a"])
+        assert report.exit_code == EXIT_SCHEMA
+        assert report.missing_baselines == ["a"]
+
+    def test_empty_baseline_dir_is_schema_error(self, tmp_path):
+        (tmp_path / "base").mkdir()
+        (tmp_path / "cur").mkdir()
+        report = compare_dirs(tmp_path / "cur", tmp_path / "base")
+        assert report.exit_code == EXIT_SCHEMA
+
+    def test_report_text_mentions_failures(self, tmp_path):
+        write(tmp_path / "base" / "BENCH_a.json", record("a"))
+        cur = record("a", metrics={"run_ms": 200.0, "counter": 1234})
+        write(tmp_path / "cur" / "BENCH_a.json", cur)
+        report = compare_dirs(tmp_path / "cur", tmp_path / "base")
+        text = render_report(report)
+        assert "FAIL" in text
+        assert "run_ms" in text
+        assert "exit code: 1" in text
+
+
+class TestCliExitCodes:
+    """`python -m repro bench --compare` exit-code contract (0/1/2)."""
+
+    def _dirs(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        base.mkdir(exist_ok=True)
+        cur.mkdir(exist_ok=True)
+        return base, cur
+
+    def _argv(self, base, cur, *extra):
+        return [
+            "bench",
+            "--compare",
+            "--no-run",
+            "--out-dir",
+            str(cur),
+            "--baseline-dir",
+            str(base),
+            *extra,
+        ]
+
+    def test_exit_0_on_pass(self, tmp_path, capsys):
+        base, cur = self._dirs(tmp_path)
+        write(base / "BENCH_a.json", record("a"))
+        write(cur / "BENCH_a.json", record("a"))
+        assert cli_main(self._argv(base, cur)) == EXIT_OK
+        assert "0 regressed" in capsys.readouterr().out
+
+    def test_exit_1_on_injected_slowdown(self, tmp_path, capsys):
+        base, cur = self._dirs(tmp_path)
+        write(base / "BENCH_a.json", record("a"))
+        slow = record("a", metrics={"run_ms": 80.0, "counter": 1234}, wall_ms=200.0)
+        write(cur / "BENCH_a.json", slow)
+        assert cli_main(self._argv(base, cur)) == EXIT_REGRESSION
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_exit_2_on_schema_error(self, tmp_path, capsys):
+        base, cur = self._dirs(tmp_path)
+        write(base / "BENCH_a.json", record("a"))
+        (cur / "BENCH_a.json").write_text("{corrupt")
+        assert cli_main(self._argv(base, cur)) == EXIT_SCHEMA
+        assert "SCHEMA ERRORS" in capsys.readouterr().out
+
+    def test_exit_2_on_unknown_bench(self, tmp_path, capsys):
+        base, cur = self._dirs(tmp_path)
+        assert cli_main(self._argv(base, cur, "nonesuch")) == EXIT_SCHEMA
+        capsys.readouterr()
+
+    def test_report_file_written(self, tmp_path, capsys):
+        base, cur = self._dirs(tmp_path)
+        write(base / "BENCH_a.json", record("a"))
+        write(cur / "BENCH_a.json", record("a"))
+        report_path = tmp_path / "report.txt"
+        argv = self._argv(base, cur, "--report", str(report_path))
+        assert cli_main(argv) == EXIT_OK
+        capsys.readouterr()
+        assert "bench regression report" in report_path.read_text()
+
+    def test_tolerance_flag_respected(self, tmp_path, capsys):
+        base, cur = self._dirs(tmp_path)
+        write(base / "BENCH_a.json", record("a"))
+        # +60%: fails at the default 25% band, passes at 100%
+        cur_rec = record("a", metrics={"run_ms": 64.0, "counter": 1234})
+        write(cur / "BENCH_a.json", cur_rec)
+        assert cli_main(self._argv(base, cur)) == EXIT_REGRESSION
+        capsys.readouterr()
+        assert cli_main(self._argv(base, cur, "--tolerance", "1.0")) == EXIT_OK
+        capsys.readouterr()
+
+
+@pytest.mark.slow
+class TestRunnerEndToEnd:
+    """One real bench through run -> record -> baseline -> compare."""
+
+    def test_workspace_bench_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        base = tmp_path / "baselines"
+        argv = [
+            "bench",
+            "workspace",
+            "--out-dir",
+            str(out),
+            "--baseline-dir",
+            str(base),
+        ]
+        assert cli_main(argv + ["--update-baselines"]) == 0
+        capsys.readouterr()
+        assert (base / "BENCH_workspace.json").exists()
+        assert cli_main(argv + ["--compare"]) == EXIT_OK
+        assert "0 regressed" in capsys.readouterr().out

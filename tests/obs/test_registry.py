@@ -1,0 +1,163 @@
+"""Tests for the metrics registry: series, labels, modes, threading."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    NullRegistry,
+    collecting,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    metrics_enabled,
+)
+
+
+class TestSeries:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("calls")
+        reg.inc("calls", 4)
+        assert reg.value("calls") == 5
+
+    def test_labels_separate_series(self):
+        reg = MetricsRegistry()
+        reg.inc("calls", 1, method="warp")
+        reg.inc("calls", 2, method="block")
+        assert reg.value("calls", method="warp") == 1
+        assert reg.value("calls", method="block") == 2
+        assert reg.value("calls") is None  # unlabeled series never touched
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.inc("x", 1, a=1, b=2)
+        reg.inc("x", 1, b=2, a=1)
+        assert reg.value("x", a=1, b=2) == 2
+        assert len(reg) == 1
+
+    def test_gauge_set_and_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(3)
+        g.record_max(7)
+        g.record_max(5)
+        assert reg.value("depth") == 7
+
+    def test_timer_stats(self):
+        reg = MetricsRegistry()
+        t = reg.timer("stage")
+        t.observe_ms(2.0)
+        t.observe_ms(4.0)
+        assert t.count == 2
+        assert t.total_ms == pytest.approx(6.0)
+        assert t.mean_ms == pytest.approx(3.0)
+        assert t.min_ms == pytest.approx(2.0)
+        assert t.max_ms == pytest.approx(4.0)
+
+    def test_timer_context_manager(self):
+        reg = MetricsRegistry()
+        with reg.timer("block").time():
+            pass
+        assert reg.timer("block").count == 1
+        assert reg.timer("block").total_ms >= 0.0
+
+    def test_same_handle_returned(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c", m=8) is reg.counter("c", m=8)
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.value("x") is None
+
+
+class TestExport:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.inc("calls", 3, method="warp")
+        reg.set_gauge("bytes", 128)
+        reg.observe_ms("run", 1.5)
+        snap = {(r["name"], r["kind"]): r for r in reg.snapshot()}
+        assert snap[("calls", "counter")]["value"] == 3
+        assert snap[("calls", "counter")]["labels"] == {"method": "warp"}
+        assert snap[("bytes", "gauge")]["value"] == 128
+        assert snap[("run", "timer")]["count"] == 1
+
+    def test_as_flat_renders_labels(self):
+        reg = MetricsRegistry()
+        reg.inc("calls", 2, engine="fast", method="block")
+        flat = reg.as_flat()
+        assert flat["calls{engine=fast,method=block}"] == 2
+
+    def test_as_flat_flattens_timers(self):
+        reg = MetricsRegistry()
+        reg.observe_ms("run", 2.5)
+        flat = reg.as_flat()
+        assert flat["run.count"] == 1
+        assert flat["run.total_ms"] == pytest.approx(2.5)
+
+
+class TestModes:
+    def test_disabled_by_default(self):
+        assert not metrics_enabled()
+        assert isinstance(get_registry(), NullRegistry)
+
+    def test_null_registry_is_inert(self):
+        reg = get_registry()
+        reg.inc("x", 5)
+        reg.set_gauge("g", 1)
+        reg.observe_ms("t", 1.0)
+        with reg.timer("t2").time():
+            pass
+        assert reg.counter("x").value == 0
+        assert reg.timer("t2").count == 0
+        assert len(reg.snapshot()) == 0
+
+    def test_enable_disable(self):
+        try:
+            reg = enable_metrics()
+            assert metrics_enabled()
+            assert get_registry() is reg
+        finally:
+            disable_metrics()
+        assert not metrics_enabled()
+
+    def test_collecting_restores_previous(self):
+        assert not metrics_enabled()
+        with collecting() as reg:
+            assert get_registry() is reg
+            reg.inc("inside")
+        assert not metrics_enabled()
+        assert reg.value("inside") == 1
+
+    def test_collecting_accepts_existing_registry(self):
+        mine = MetricsRegistry()
+        with collecting(mine) as reg:
+            assert reg is mine
+
+
+class TestThreading:
+    def test_concurrent_increments_are_exact(self):
+        reg = MetricsRegistry()
+        n, per = 8, 10_000
+
+        def work():
+            for _ in range(per):
+                reg.inc("hits", 1, worker="shared")
+
+        threads = [threading.Thread(target=work) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.value("hits", worker="shared") == n * per

@@ -1,0 +1,125 @@
+"""Tests for the bench-record schema validation."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SCHEMA_VERSION,
+    BenchSchemaError,
+    check_record,
+    dump_record,
+    load_record,
+    make_record,
+    validate_record,
+)
+
+
+def good_record():
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "engine",
+        "config": {"n": 65536, "m": 32, "method": "block"},
+        "metrics": {"fast_warm_ms": 1.5, "workspace_hits": 4},
+        "exact": ["workspace_hits"],
+        "wall_ms": 120.0,
+    }
+
+
+class TestValidate:
+    def test_good_record_passes(self):
+        assert validate_record(good_record()) == []
+
+    def test_non_dict_rejected(self):
+        assert validate_record([1, 2]) != []
+
+    @pytest.mark.parametrize(
+        "key",
+        ["schema_version", "bench", "config", "metrics", "wall_ms"],
+    )
+    def test_missing_required_key(self, key):
+        rec = good_record()
+        del rec[key]
+        assert any(key in e for e in validate_record(rec))
+
+    def test_unknown_key_rejected(self):
+        rec = good_record()
+        rec["extra_stuff"] = 1
+        assert any("unknown key" in e for e in validate_record(rec))
+
+    def test_wrong_schema_version(self):
+        rec = good_record()
+        rec["schema_version"] = SCHEMA_VERSION + 1
+        assert any("schema_version" in e for e in validate_record(rec))
+
+    def test_non_numeric_metric(self):
+        rec = good_record()
+        rec["metrics"]["method"] = "block"
+        assert any("finite number" in e for e in validate_record(rec))
+
+    def test_nan_metric_rejected(self):
+        rec = good_record()
+        rec["metrics"]["bad"] = float("nan")
+        assert any("finite" in e for e in validate_record(rec))
+
+    def test_bool_metric_rejected(self):
+        rec = good_record()
+        rec["metrics"]["flag"] = True
+        assert any("finite number" in e for e in validate_record(rec))
+
+    def test_empty_metrics_rejected(self):
+        rec = good_record()
+        rec["metrics"] = {}
+        assert any("metrics" in e for e in validate_record(rec))
+
+    def test_exact_must_reference_metrics(self):
+        rec = good_record()
+        rec["exact"] = ["not_a_metric"]
+        assert any("not_a_metric" in e for e in validate_record(rec))
+
+    def test_config_must_be_scalars(self):
+        rec = good_record()
+        rec["config"]["nested"] = {"a": 1}
+        assert any("scalar" in e for e in validate_record(rec))
+
+    def test_negative_wall_rejected(self):
+        rec = good_record()
+        rec["wall_ms"] = -1.0
+        assert any("wall_ms" in e for e in validate_record(rec))
+
+    def test_check_record_raises_with_source(self):
+        rec = good_record()
+        del rec["bench"]
+        with pytest.raises(BenchSchemaError, match="somewhere"):
+            check_record(rec, source="somewhere")
+
+
+class TestRoundTrip:
+    def test_make_record_validates(self):
+        rec = make_record("x", {"n": 4}, {"ms": 1.23456789}, 10.0, exact=["ms"])
+        assert validate_record(rec) == []
+        assert rec["metrics"]["ms"] == pytest.approx(1.234568)
+
+    def test_make_record_rejects_bad_metrics(self):
+        with pytest.raises(BenchSchemaError):
+            make_record("x", {}, {}, 10.0)
+
+    def test_dump_and_load(self, tmp_path):
+        path = dump_record(good_record(), tmp_path / "BENCH_x.json")
+        assert load_record(path) == good_record()
+
+    def test_load_rejects_corrupt_json(self, tmp_path):
+        p = tmp_path / "BENCH_bad.json"
+        p.write_text("{not json")
+        with pytest.raises(BenchSchemaError, match="unreadable"):
+            load_record(p)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(BenchSchemaError):
+            load_record(tmp_path / "BENCH_none.json")
+
+    def test_load_rejects_invalid_record(self, tmp_path):
+        p = tmp_path / "BENCH_inv.json"
+        p.write_text(json.dumps({"bench": "inv"}))
+        with pytest.raises(BenchSchemaError):
+            load_record(p)

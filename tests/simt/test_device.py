@@ -6,7 +6,6 @@ import pytest
 from repro.simt import (
     CostModel,
     Device,
-    DeviceSpec,
     K40C,
     GTX750TI,
     KernelCounters,

@@ -37,7 +37,8 @@ class TestGantt:
         tl = make_timeline()
         out = ascii_gantt(tl, width=20)
         longest = max(tl.records, key=lambda r: r.total_ms)
-        line = next(l for l in out.splitlines() if l.startswith(longest.name))
+        line = next(ln for ln in out.splitlines()
+                    if ln.startswith(longest.name))
         assert "█" * 20 in line
 
     def test_empty_timeline(self):
@@ -50,8 +51,8 @@ class TestStageBars:
         tl = make_timeline()
         out = stage_bars(tl)
         assert "prescan" in out and "postscan" in out
-        shares = [float(l.split("(")[1].rstrip("%)")) for l in out.splitlines()
-                  if "(" in l]
+        shares = [float(ln.split("(")[1].rstrip("%)"))
+                  for ln in out.splitlines() if "(" in ln]
         assert abs(sum(shares) - 100.0) < 0.5
 
     def test_empty(self):

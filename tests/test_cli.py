@@ -36,8 +36,29 @@ class TestCli:
         assert "m=2" in out and "m=8" in out
         assert "reduced_bit" in out
         # scan_split supports only m=2
-        line = next(l for l in out.splitlines() if l.startswith("scan_split"))
+        line = next(ln for ln in out.splitlines()
+                    if ln.startswith("scan_split"))
         assert "-" in line
+
+    def test_sweep_lists_all_methods(self, capsys):
+        assert main(["sweep", "-n", "4096", "--buckets", "4"]) == 0
+        out = capsys.readouterr().out
+        for method in ("direct", "warp", "block", "sparse_block",
+                       "reduced_bit", "radix_sort"):
+            assert method in out
+        assert "auto" not in out
+
+    def test_sweep_on_maxwell(self, capsys):
+        assert main(["sweep", "-n", "4096", "--device", "gtx750ti",
+                     "--buckets", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "750 Ti" in out and "m=8" in out
+
+    def test_sweep_warp_capped_at_warp_width(self, capsys):
+        assert main(["sweep", "-n", "4096", "--buckets", "64"]) == 0
+        out = capsys.readouterr().out
+        line = next(ln for ln in out.splitlines() if ln.startswith("warp "))
+        assert "-" in line  # warp-level cannot do m > 32
 
     def test_sssp(self, capsys):
         assert main(["sssp", "--family", "gbf", "--scale", "8"]) == 0
@@ -48,6 +69,12 @@ class TestCli:
         assert main(["sol"]) == 0
         out = capsys.readouterr().out
         assert "24.0" in out and "14.4" in out
+
+    def test_sol_covers_both_devices(self, capsys):
+        assert main(["sol"]) == 0
+        out = capsys.readouterr().out
+        assert "K40c" in out and "750 Ti" in out
+        assert "key-only" in out and "key-value" in out
 
     def test_bad_command_rejected(self):
         with pytest.raises(SystemExit):

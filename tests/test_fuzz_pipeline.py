@@ -7,7 +7,6 @@ per-module tests by exercising the *interactions*.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.multisplit import (

@@ -11,7 +11,6 @@ If a change is *intentional* (recalibration, new cost term), update the
 goldens and the EXPERIMENTS.md tables together.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import run_method, run_radix_baseline
