@@ -171,11 +171,37 @@ def bench_batch() -> dict:
     }
 
 
+def bench_sharded() -> dict:
+    """Small-n version of benchmarks/bench_sharded.py (fast vs sharded)."""
+    import bench_sharded
+
+    config = {"n": max(_N * 4, 1 << 18), "m": 32, "repeats": 3}
+    report = bench_sharded.run(n=config["n"], m=config["m"], repeats=config["repeats"])
+    # speedup ratios are higher-is-better, which the lower-is-better
+    # tolerance bands would read backwards; derive them from the
+    # recorded milliseconds instead
+    metrics = {
+        "fast_warm_ms": report["fast_warm_ms"],
+        "sharded_w1_ms": report["sharded_w1_ms"],
+        "sharded_w4_ms": report["sharded_w4_ms"],
+        "drift": report["drift"],
+        "shards": report["shards"],
+        "starts_checksum": report["starts_checksum"],
+    }
+    config["method"] = report["method"]
+    return {
+        "config": config,
+        "metrics": metrics,
+        "exact": ["drift", "shards", "starts_checksum"],
+    }
+
+
 BENCHES = {
     "engine": bench_engine,
     "sweep": bench_sweep,
     "workspace": bench_workspace,
     "batch": bench_batch,
+    "sharded": bench_sharded,
 }
 
 

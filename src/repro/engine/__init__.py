@@ -1,21 +1,25 @@
-"""The fast execution engine: result-only multisplit without emulation.
+"""The fast execution engines: result-only multisplit without emulation.
 
 ``repro.multisplit`` runs every call through the audited SIMT substrate
 so the paper's figures and tables reproduce; this package is the other
 half of the bargain — production callers that only need the permuted
-output select it with ``multisplit(..., engine="fast")`` and get the
-bit-identical result from fused numpy kernels, pooled scratch
-(:class:`Workspace`), and batched dispatch (:func:`multisplit_batch`),
-with no timeline attached.
+output select it with ``multisplit(..., engine="fast")`` (monolithic
+fused kernels) or ``multisplit(..., engine="sharded")`` (the paper's
+{local, global, local} decomposition run shard-parallel across threads)
+and get the bit-identical result from fused numpy kernels, pooled
+scratch (:class:`Workspace`), and batched dispatch
+(:func:`multisplit_batch`), with no timeline attached.
 """
 
 from .fused import fast_multisplit, FAST_METHODS, STABLE_METHODS
 from .workspace import Workspace
 from .batch import multisplit_batch
+from .sharded import sharded_multisplit, SHARDED_AUTO_MIN_N, DEFAULT_SHARD_KEYS
 from .parity import EngineParityError, check_engine_parity, parity_report
 
 __all__ = [
     "fast_multisplit", "FAST_METHODS", "STABLE_METHODS",
+    "sharded_multisplit", "SHARDED_AUTO_MIN_N", "DEFAULT_SHARD_KEYS",
     "Workspace", "multisplit_batch",
     "EngineParityError", "check_engine_parity", "parity_report",
 ]

@@ -46,7 +46,7 @@ def _resolve_specs(spec_or_fn, num_buckets, count: int) -> list[BucketSpec]:
 def multisplit_batch(keys_batch, spec_or_fn, num_buckets: int | None = None, *,
                      values_batch=None, method="auto", engine: str = "fast",
                      workspace: Workspace | None = None, device=None,
-                     max_workers: int | None = None,
+                     max_workers: int | None = None, shards: int | None = None,
                      **kwargs) -> list[MultisplitResult]:
     """Run many independent multisplits; returns results in batch order.
 
@@ -62,14 +62,24 @@ def multisplit_batch(keys_batch, spec_or_fn, num_buckets: int | None = None, *,
         ``None`` for key-only items.
     engine:
         ``"fast"`` (default: fused result-only kernels, thread-pool
-        fan-out for large batches) or ``"emulate"`` (sequential, full
-        timelines).
+        fan-out across *items* for large batches), ``"sharded"``
+        (items sequential, each call shard-parallel *inside* — the
+        right shape for a few huge items), ``"auto"`` (per-item choice
+        between those two by item size), or ``"emulate"`` (sequential,
+        full timelines).
     workspace:
-        Optional scratch arena for the fast engine; must have
+        Optional scratch arena for the result-only engines; must have
         ``reuse_outputs=False`` because every result in the batch must
-        survive the call. Ignored with ``engine="emulate"``.
+        survive the call. On the fast engine's parallel path it seeds
+        one pool thread's arena (the remaining threads build their
+        own); sequential paths use it for every item. Ignored with
+        ``engine="emulate"``.
     max_workers:
         Thread-pool width; ``0`` or ``1`` forces sequential execution.
+        With ``engine="sharded"``/``"auto"`` this caps the *per-call*
+        worker threads instead (items already run sequentially).
+    shards:
+        Shard count forwarded to ``engine="sharded"``/``"auto"`` calls.
     """
     keys_batch = list(keys_batch)
     count = len(keys_batch)
@@ -90,12 +100,27 @@ def multisplit_batch(keys_batch, spec_or_fn, num_buckets: int | None = None, *,
         from repro.multisplit.api import multisplit
         return [multisplit(k, s, values=v, method=method, device=device, **kwargs)
                 for k, s, v in zip(keys_batch, specs, values_batch)]
-    if engine != "fast":
-        raise ValueError(f"engine must be 'fast' or 'emulate', got {engine!r}")
+    if engine not in ("fast", "sharded", "auto"):
+        raise ValueError(
+            f"engine must be 'fast', 'sharded', 'auto', or 'emulate', "
+            f"got {engine!r}")
     if workspace is not None and workspace.reuse_outputs:
         raise ValueError(
             "multisplit_batch needs a Workspace(reuse_outputs=False): batched "
             "results must all outlive the call, so outputs cannot be pooled")
+    if engine in ("sharded", "auto"):
+        # items run sequentially; each call parallelizes internally over
+        # its shards, so the two pools never nest
+        from repro.multisplit.api import multisplit
+        ws = workspace if workspace is not None else Workspace(reuse_outputs=False)
+        return [multisplit(k, s, values=v, method=method, engine=engine,
+                           workspace=ws, shards=shards, max_workers=max_workers,
+                           **kwargs)
+                for k, s, v in zip(keys_batch, specs, values_batch)]
+    if shards is not None:
+        raise ValueError(
+            "shards is a sharded-engine knob; pass engine='sharded' or "
+            "engine='auto'")
 
     from .fused import fast_multisplit
 
@@ -139,13 +164,22 @@ def multisplit_batch(keys_batch, spec_or_fn, num_buckets: int | None = None, *,
         return [run_one(item, ws) for item in items]
 
     # per-thread scratch arenas; numpy's sort/take release the GIL, so the
-    # pool overlaps the dominant kernels of independent items
+    # pool overlaps the dominant kernels of independent items. A
+    # caller-provided workspace seeds the first thread that asks (its
+    # warmed slots keep paying off); the rest build their own.
     local = threading.local()
+    seed_lock = threading.Lock()
+    seed = [workspace]
 
     def run_threaded(item):
         ws = getattr(local, "ws", None)
         if ws is None:
-            ws = local.ws = Workspace(reuse_outputs=False)
+            with seed_lock:
+                ws = seed[0]
+                seed[0] = None
+            if ws is None:
+                ws = Workspace(reuse_outputs=False)
+            local.ws = ws
         return run_one(item, ws)
 
     with ThreadPoolExecutor(max_workers=max_workers) as pool:

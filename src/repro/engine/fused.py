@@ -52,6 +52,36 @@ FAST_METHODS = STABLE_METHODS | {"radix_sort", "randomized"}
 _PADDED_METHODS = frozenset({"direct", "warp", "block", "sparse_block"})
 
 
+def coerce_and_check(keys, values, method: str, m: int):
+    """Shared input coercion + method-constraint checks for the result-only
+    engines (fast and sharded), so the API contract stays engine-invariant.
+    """
+    keys = np.ascontiguousarray(keys)
+    if keys.ndim != 1:
+        raise ValueError(f"keys must be 1-D, got shape {keys.shape}")
+    if method in _PADDED_METHODS and keys.dtype.itemsize not in (4, 8):
+        raise ValueError(f"keys must be 32- or 64-bit, got dtype {keys.dtype}")
+    if values is not None:
+        values = np.ascontiguousarray(values)
+        if values.shape != keys.shape:
+            raise ValueError(
+                f"values shape {values.shape} must match keys shape {keys.shape}")
+    if method == "warp" and m > WARP_WIDTH:
+        raise ValueError(
+            f"warp-level MS supports m <= {WARP_WIDTH} buckets (got {m}); "
+            "use method='block' or 'reduced_bit'")
+    if method == "scan_split" and m != 2:
+        raise ValueError(
+            f"scan-based split handles exactly 2 buckets, got {m}; "
+            "use method='recursive_split' for more")
+    if method == "reduced_bit" and values is not None and keys.dtype.itemsize != 4:
+        raise ValueError(
+            "reduced-bit key-value multisplit packs (key, value) into 64 bits "
+            "and therefore requires 32-bit keys; use direct/warp/block/"
+            "sparse_block for 64-bit key-value pairs")
+    return keys, values
+
+
 def fast_multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
                     values: np.ndarray | None = None, method: str = "auto",
                     workspace: Workspace | None = None,
@@ -72,31 +102,8 @@ def fast_multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None
     if method not in FAST_METHODS:
         raise ValueError(f"unknown fast-engine method {method!r}")
 
-    keys = np.ascontiguousarray(keys)
-    if keys.ndim != 1:
-        raise ValueError(f"keys must be 1-D, got shape {keys.shape}")
-    if method in _PADDED_METHODS and keys.dtype.itemsize not in (4, 8):
-        raise ValueError(f"keys must be 32- or 64-bit, got dtype {keys.dtype}")
-    if values is not None:
-        values = np.ascontiguousarray(values)
-        if values.shape != keys.shape:
-            raise ValueError(
-                f"values shape {values.shape} must match keys shape {keys.shape}")
-
     m = spec.num_buckets
-    if method == "warp" and m > WARP_WIDTH:
-        raise ValueError(
-            f"warp-level MS supports m <= {WARP_WIDTH} buckets (got {m}); "
-            "use method='block' or 'reduced_bit'")
-    if method == "scan_split" and m != 2:
-        raise ValueError(
-            f"scan-based split handles exactly 2 buckets, got {m}; "
-            "use method='recursive_split' for more")
-    if method == "reduced_bit" and values is not None and keys.dtype.itemsize != 4:
-        raise ValueError(
-            "reduced-bit key-value multisplit packs (key, value) into 64 bits "
-            "and therefore requires 32-bit keys; use direct/warp/block/"
-            "sparse_block for 64-bit key-value pairs")
+    keys, values = coerce_and_check(keys, values, method, m)
 
     reg = get_registry()
     reg.inc("engine.fast.calls", 1, method=method)
@@ -192,10 +199,22 @@ def _fused_sort_based(keys, spec: BucketSpec, values,
     m = spec.num_buckets
     n = keys.size
     labels = spec(keys)
-    order_check = np.argsort(keys, kind="stable")
-    if labels.size and (np.diff(labels[order_check].astype(np.int64)) < 0).any():
-        raise ValueError("sort-based multisplit requires buckets monotone in the key")
-    starts = _starts(np.bincount(labels, minlength=m), m, workspace)
+    counts = np.bincount(labels, minlength=m)
+    # buckets are monotone in the key iff the per-bucket key ranges are
+    # disjoint and bucket-ordered: an O(n + m) check (indexed min/max
+    # scatter), versus the O(n log n) full key argsort it replaces
+    if n:
+        info = (np.iinfo(keys.dtype) if np.issubdtype(keys.dtype, np.integer)
+                else np.finfo(keys.dtype))
+        lo = np.full(m, info.max, dtype=keys.dtype)
+        hi = np.full(m, info.min, dtype=keys.dtype)
+        np.minimum.at(lo, labels, keys)
+        np.maximum.at(hi, labels, keys)
+        nonempty = np.flatnonzero(counts)
+        if (hi[nonempty][:-1] > lo[nonempty][1:]).any():
+            raise ValueError(
+                "sort-based multisplit requires buckets monotone in the key")
+    starts = _starts(counts, m, workspace)
 
     # the emulated LSB radix sort orders stably by the low `bits` bits;
     # the masked keys fit in ceil(bits/8) bytes, so sort at that width
@@ -277,11 +296,23 @@ def _fused_randomized(keys, spec: BucketSpec, values, workspace: Workspace | Non
         occupied[darts[win_mask]] = True
         slot_of[winners] = darts[win_mask]
         pending = pending[~win_mask]
-    for i in pending:
-        b = buffer_of[i]
-        free = np.flatnonzero(~occupied[buf_base[b]:buf_base[b + 1]])
-        occupied[buf_base[b] + free[0]] = True
-        slot_of[i] = buf_base[b] + free[0]
+    if pending.size:
+        # pathological tail: group the stragglers by buffer and fill each
+        # buffer's free slots in one pass, in ascending slot order — the
+        # same assignment the emulation's per-item linear probe produces
+        # (items are in index order, so per buffer they claim free slots
+        # first-come-first-served)
+        bufs = buffer_of[pending]
+        by_buf = np.argsort(bufs, kind="stable")
+        sorted_pending = pending[by_buf]
+        uniq, first, per_buf = np.unique(bufs[by_buf],
+                                         return_index=True, return_counts=True)
+        for b, start, count in zip(uniq, first, per_buf):
+            base = int(buf_base[b])
+            free = np.flatnonzero(~occupied[base:int(buf_base[b + 1])])[:count]
+            slots = base + free
+            occupied[slots] = True
+            slot_of[sorted_pending[start:start + count]] = slots
 
     # compaction: exclusive scan of the occupancy flags
     positions = np.cumsum(occupied, dtype=np.int64)

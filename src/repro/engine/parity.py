@@ -1,10 +1,12 @@
-"""Engine parity: prove the fast engine matches the emulation bit for bit.
+"""Engine parity: prove the result-only engines match the emulation bit
+for bit.
 
-The fast engine's whole contract is "same permutation, no emulation".
-These helpers run both engines on the same input and compare
-keys/values/``bucket_starts`` exactly; they power the parity fuzz tests
-and are public so downstream users can spot-check their own workloads
-before switching a hot path to ``engine="fast"``.
+The fast and sharded engines' whole contract is "same permutation, no
+emulation". These helpers run an engine and the emulation on the same
+input and compare keys/values/``bucket_starts`` exactly; they power the
+parity fuzz tests and are public so downstream users can spot-check
+their own workloads before switching a hot path to ``engine="fast"``
+or ``engine="sharded"``.
 """
 
 from __future__ import annotations
@@ -34,13 +36,20 @@ def _compare(name: str, fast, emu) -> str | None:
 
 
 def parity_report(keys, spec_or_fn, num_buckets: int | None = None, *,
-                  values=None, method="auto", **kwargs) -> dict:
-    """Run both engines; returns ``{"match": bool, "mismatches": [...], ...}``."""
+                  values=None, method="auto", engine: str = "fast",
+                  **kwargs) -> dict:
+    """Run ``engine`` (fast or sharded) against the emulation; returns
+    ``{"match": bool, "mismatches": [...], ...}``.
+    """
     from repro.multisplit.api import multisplit
+    # the sharded engine's decomposition knobs do not exist on the
+    # emulated side and never affect results; keep them out of its call
+    emu_kwargs = {k: v for k, v in kwargs.items()
+                  if k not in ("shards", "max_workers")}
     fast = multisplit(keys, spec_or_fn, num_buckets, values=values,
-                      method=method, engine="fast", **kwargs)
+                      method=method, engine=engine, **kwargs)
     emu = multisplit(keys, spec_or_fn, num_buckets, values=values,
-                     method=method, engine="emulate", **kwargs)
+                     method=method, engine="emulate", **emu_kwargs)
     mismatches = [msg for msg in (
         _compare("keys", fast.keys, emu.keys),
         _compare("values", fast.values, emu.values),
@@ -59,16 +68,19 @@ def parity_report(keys, spec_or_fn, num_buckets: int | None = None, *,
 
 
 def check_engine_parity(keys, spec_or_fn, num_buckets: int | None = None, *,
-                        values=None, method="auto", **kwargs):
+                        values=None, method="auto", engine: str = "fast",
+                        **kwargs):
     """Raise :class:`EngineParityError` unless both engines agree exactly.
 
-    Returns ``(fast_result, emulated_result)`` on success.
+    ``engine`` selects the result-only engine under test (``"fast"`` or
+    ``"sharded"``). Returns ``(engine_result, emulated_result)`` on
+    success.
     """
     report = parity_report(keys, spec_or_fn, num_buckets, values=values,
-                           method=method, **kwargs)
+                           method=method, engine=engine, **kwargs)
     if not report["match"]:
         n = np.asarray(keys).size
         raise EngineParityError(
-            f"fast/emulate divergence for method={method!r}, n={n}: "
+            f"{engine}/emulate divergence for method={method!r}, n={n}: "
             + "; ".join(report["mismatches"]))
     return report["fast"], report["emulate"]

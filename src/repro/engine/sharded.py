@@ -1,0 +1,272 @@
+"""Sharded parallel fast engine: {local, global, local} for one multisplit.
+
+The fast engine (:mod:`repro.engine.fused`) runs a single large stable
+multisplit as one monolithic label/bincount/argsort/gather pipeline.
+That leaves two kinds of performance on the table:
+
+* **cache locality** — the global stable argsort and the two big
+  gathers stream the whole input through cache-unfriendly access
+  patterns; and
+* **cores** — one call runs on one thread, even on machines where
+  ``multisplit_batch`` happily saturates a pool with *independent*
+  calls.
+
+This module applies the paper's own decomposition (Section 3, Eq. 1/2)
+to a single call. The input is split into ``P`` contiguous shards and
+executed in the paper's three-phase shape:
+
+1. **local (prescan)** — each shard computes its own ``m``-bin bucket
+   histogram (and, for elementwise specs, its own bucket ids), in
+   parallel across worker threads;
+2. **global (scan)** — the ``m x P`` histogram matrix is exclusively
+   scanned in *bucket-major* order, exactly Eq. 1's
+   ``offset[b][p] = sum_{b'<b} count[b'] + sum_{p'<p} count[b][p']``,
+   yielding every shard's private base offset into every bucket;
+3. **local (postscan)** — each shard stable-counting-scatters its
+   elements: a stable argsort of the shard's (narrowed) bucket ids
+   groups them by bucket, and each group is copied contiguously to its
+   precomputed global offset.
+
+Because the offsets are chunk-major, shard ``p``'s bucket-``b`` run
+lands immediately before shard ``p+1``'s, and the within-shard sort is
+stable — so the concatenation is *the* unique global stable
+permutation. Outputs are therefore **bit-identical** to
+``engine="fast"`` and ``engine="emulate"`` for the whole stable method
+family, regardless of ``shards``/``max_workers`` (every destination is
+precomputed, so thread scheduling cannot perturb the result).
+
+Shards default to ~32K keys so a shard's ids, permutation, and gathered
+output stay cache-resident; on this decomposition the engine is
+measurably faster than the monolithic fast path even single-threaded,
+and scales with worker threads on multicore hosts (the dominant numpy
+kernels — sort, take, slice copies — release the GIL).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.multisplit.bucketing import as_bucket_spec
+from repro.multisplit.result import MultisplitResult
+from repro.obs import get_registry
+from .fused import STABLE_METHODS, coerce_and_check, _starts
+from .workspace import Workspace, out_buffer
+
+__all__ = ["sharded_multisplit", "SHARDED_AUTO_MIN_N", "DEFAULT_SHARD_KEYS"]
+
+# ~32K keys per shard keeps a shard's ids + permutation + gathered
+# output L2-resident; calibrated on the chunk-size sweep in
+# benchmarks/bench_sharded.py (16K-128K shards are within ~10% of each
+# other; the monolithic path is ~3x slower than any of them)
+DEFAULT_SHARD_KEYS = 1 << 15
+# hard cap so pathological `shards=` requests cannot explode the
+# histogram matrix; 4096 shards x m=256 is still only an 8 MB scan
+MAX_SHARDS = 4096
+# engine="auto" switches from "fast" to "sharded" at this input size —
+# below it the monolithic pipeline's lower fixed overhead wins, above
+# it the sharded pipeline wins on cache locality alone (and further on
+# worker threads); calibrated alongside DEFAULT_SHARD_KEYS
+SHARDED_AUTO_MIN_N = 1 << 19
+_DEFAULT_MAX_WORKERS = 4
+
+
+def _resolve_workers(max_workers: int | None) -> int:
+    if max_workers is None:
+        return max(1, min(_DEFAULT_MAX_WORKERS, os.cpu_count() or 1))
+    return max(1, int(max_workers))
+
+
+def _resolve_shards(n: int, shards: int | None, workers: int) -> int:
+    if shards is not None:
+        shards = int(shards)
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        return min(shards, max(n, 1))
+    by_cache = -(-n // DEFAULT_SHARD_KEYS) if n else 1
+    return max(1, min(max(by_cache, workers), MAX_SHARDS, max(n, 1)))
+
+
+def _narrow_dtype(m: int):
+    if m <= (1 << 8):
+        return np.uint8
+    if m <= (1 << 16):
+        return np.uint16
+    return np.uint32
+
+
+def sharded_multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
+                       values: np.ndarray | None = None, method: str = "auto",
+                       workspace: Workspace | None = None,
+                       shards: int | None = None, max_workers: int | None = None,
+                       **kwargs) -> MultisplitResult:
+    """Sharded result-only multisplit, bit-identical to ``engine="emulate"``.
+
+    Parameters
+    ----------
+    shards:
+        Number of contiguous input shards ``P``. Default: enough shards
+        of ~``DEFAULT_SHARD_KEYS`` keys to cover the input, at least one
+        per worker, capped at ``MAX_SHARDS``.
+    max_workers:
+        Worker threads for the two local phases; default
+        ``min(4, cpu_count)``. ``1`` runs sequentially (still faster
+        than the monolithic fast path at large ``n`` thanks to
+        cache-resident shards). Results never depend on this knob.
+
+    Like :func:`~repro.engine.fast_multisplit`, launch-shape ``kwargs``
+    (``warps_per_block``, ``items_per_lane``, ``device``) are accepted
+    and ignored; only the stable method family is supported.
+    """
+    spec = as_bucket_spec(spec_or_fn, num_buckets)
+    method = getattr(method, "value", method)
+    if method == "auto":
+        from repro.multisplit.api import _pick_auto
+        method = _pick_auto(spec.num_buckets).value
+    if method not in STABLE_METHODS:
+        raise ValueError(
+            f"engine='sharded' handles the stable method family "
+            f"({', '.join(sorted(STABLE_METHODS))}); got {method!r} — "
+            "use engine='fast' for radix_sort/randomized")
+    m = spec.num_buckets
+    keys, values = coerce_and_check(keys, values, method, m)
+    n = keys.size
+
+    workers = _resolve_workers(max_workers)
+    num_shards = _resolve_shards(n, shards, workers)
+    workers = min(workers, num_shards)
+
+    reg = get_registry()
+    reg.inc("engine.sharded.calls", 1, method=method)
+    if reg.enabled:
+        reg.inc("engine.sharded.keys", n, method=method)
+        reg.inc("engine.sharded.buckets", m, method=method)
+        reg.set_gauge("engine.sharded.shards", num_shards, method=method)
+        reg.set_gauge("engine.sharded.workers", workers, method=method)
+    with reg.timer("engine.sharded.run_ms", method=method,
+                   kv=values is not None).time():
+        return _run_sharded(keys, spec, values, method, workspace,
+                            num_shards, workers, reg)
+
+
+def _run_sharded(keys, spec, values, method: str, workspace: Workspace | None,
+                 P: int, workers: int, reg) -> MultisplitResult:
+    m = spec.num_buckets
+    n = keys.size
+    kv = values is not None
+    chunk = -(-n // P) if n else 0
+
+    def bounds(p: int) -> slice:
+        return slice(p * chunk, min((p + 1) * chunk, n))
+
+    # per-worker sub-arenas: carved from the caller's workspace so shard
+    # scratch is reused across calls, or ephemeral without one; shards
+    # are striped across workers (worker w owns shards w, w+W, ...) so
+    # arena usage is deterministic
+    if workspace is not None:
+        arenas = [workspace.subarena(f"shard-worker{w}") for w in range(workers)]
+        ids_dtype = _narrow_dtype(m)
+        ids8 = workspace.take("sharded_ids", n, ids_dtype)
+    else:
+        arenas = [Workspace() for _ in range(workers)]
+        ids_dtype = _narrow_dtype(m)
+        ids8 = np.empty(n, dtype=ids_dtype)
+
+    # non-elementwise specs (arbitrary callables, whole-array bucketings)
+    # must see the full key array exactly once to stay bit-identical
+    global_ids = None if spec.elementwise else spec(keys)
+
+    hist = np.zeros((P, m), dtype=np.int64)
+    shard_monotone = np.zeros(P, dtype=bool)
+
+    def prescan_stripe(w: int) -> None:
+        for p in range(w, P, workers):
+            s = bounds(p)
+            cids = spec(keys[s]) if global_ids is None else global_ids[s]
+            np.copyto(ids8[s], cids, casting="unsafe")
+            hist[p] = np.bincount(ids8[s], minlength=m)
+            shard_monotone[p] = (cids.size <= 1
+                                 or bool((cids[1:] >= cids[:-1]).all()))
+
+    pool = ThreadPoolExecutor(max_workers=workers) if workers > 1 else None
+    try:
+        with reg.timer("engine.sharded.prescan_ms", method=method).time():
+            if pool is None:
+                prescan_stripe(0)
+            else:
+                list(pool.map(prescan_stripe, range(workers)))
+
+        with reg.timer("engine.sharded.scan_ms", method=method).time():
+            counts = hist.sum(axis=0)
+            starts = _starts(counts, m, workspace)
+            # already partitioned (single bucket, presorted ids, n <= 1):
+            # the stable permutation is the identity — mirror the fused
+            # engine's short circuit. Global monotonicity decomposes into
+            # per-shard monotonicity plus non-decreasing shard boundaries.
+            nonempty = np.flatnonzero(hist.sum(axis=1))
+            already = bool(shard_monotone[nonempty].all()) if nonempty.size else True
+            if already and nonempty.size > 1:
+                firsts = ids8[[bounds(p).start for p in nonempty]]
+                lasts = ids8[[bounds(p).stop - 1 for p in nonempty]]
+                already = bool((lasts[:-1] <= firsts[1:]).all())
+            if not already:
+                # Eq. 1, chunk-major: offset[b][p] walks buckets in the
+                # outer dimension and shards in the inner one, so each
+                # shard's run of bucket b lands directly after the runs
+                # of every earlier shard
+                flat = np.ascontiguousarray(hist.T).ravel()
+                scanned = np.zeros(m * P, dtype=np.int64)
+                np.cumsum(flat[:-1], out=scanned[1:])
+                offsets = np.ascontiguousarray(scanned.reshape(m, P).T)
+
+        out_keys = out_buffer(workspace, "keys", n, keys.dtype)
+        out_values = (out_buffer(workspace, "values", n, values.dtype)
+                      if kv else None)
+
+        def postscan_stripe(w: int) -> None:
+            arena = arenas[w]
+            for p in range(w, P, workers):
+                s = bounds(p)
+                cn = s.stop - s.start
+                if cn == 0:
+                    continue
+                if shard_monotone[p]:
+                    ks, vs = keys[s], (values[s] if kv else None)
+                else:
+                    order = np.argsort(ids8[s], kind="stable")
+                    ks = arena.take("shard_keys", cn, keys.dtype)
+                    np.take(keys[s], order, out=ks)
+                    if kv:
+                        vs = arena.take("shard_values", cn, values.dtype)
+                        np.take(values[s], order, out=vs)
+                cnt = hist[p]
+                offs = offsets[p]
+                done = 0
+                for b in np.flatnonzero(cnt):
+                    cb = int(cnt[b])
+                    o = int(offs[b])
+                    out_keys[o:o + cb] = ks[done:done + cb]
+                    if kv:
+                        out_values[o:o + cb] = vs[done:done + cb]
+                    done += cb
+
+        with reg.timer("engine.sharded.postscan_ms", method=method).time():
+            if already:
+                out_keys[:] = keys
+                if kv:
+                    out_values[:] = values
+            elif pool is None:
+                postscan_stripe(0)
+            else:
+                list(pool.map(postscan_stripe, range(workers)))
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+    return MultisplitResult(
+        keys=out_keys, values=out_values, bucket_starts=starts,
+        method=method, num_buckets=m, timeline=None, stable=True,
+        extra={"engine": "sharded", "shards": P, "workers": workers},
+    )

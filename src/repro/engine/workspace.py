@@ -49,8 +49,26 @@ class Workspace:
     def __init__(self, *, reuse_outputs: bool = True):
         self.reuse_outputs = bool(reuse_outputs)
         self._slots: dict[tuple[str, np.dtype], np.ndarray] = {}
+        self._children: dict[str, "Workspace"] = {}
         self.hits = 0
         self.misses = 0
+
+    def subarena(self, name: str) -> "Workspace":
+        """A named child arena carved out of this workspace.
+
+        The sharded engine hands one sub-arena to each worker thread so
+        scratch reuse persists across calls without sharing mutable
+        buffers between threads (a workspace itself is not thread-safe).
+        Children are created lazily, kept for the lifetime of the
+        parent, counted in :attr:`nbytes`, and released by
+        :meth:`clear`. Carve sub-arenas from the coordinating thread
+        before handing them to workers.
+        """
+        child = self._children.get(name)
+        if child is None:
+            child = Workspace(reuse_outputs=self.reuse_outputs)
+            self._children[name] = child
+        return child
 
     def take(self, slot: str, size: int, dtype) -> np.ndarray:
         """A length-``size`` buffer for ``slot``, reused when possible.
@@ -83,12 +101,14 @@ class Workspace:
 
     @property
     def nbytes(self) -> int:
-        """Total bytes currently held by the arena."""
-        return sum(b.nbytes for b in self._slots.values())
+        """Total bytes currently held by the arena (sub-arenas included)."""
+        own = sum(b.nbytes for b in self._slots.values())
+        return own + sum(c.nbytes for c in self._children.values())
 
     def clear(self) -> None:
-        """Release every pooled buffer (counters are kept)."""
+        """Release every pooled buffer and sub-arena (counters are kept)."""
         self._slots.clear()
+        self._children.clear()
 
     def publish(self, registry=None, **labels) -> None:
         """Export cumulative hits/misses/bytes as registry gauges."""
@@ -97,8 +117,9 @@ class Workspace:
                          self, **labels)
 
     def __repr__(self) -> str:
+        sub = f", subarenas={len(self._children)}" if self._children else ""
         return (f"Workspace(slots={len(self._slots)}, nbytes={self.nbytes}, "
-                f"hits={self.hits}, misses={self.misses})")
+                f"hits={self.hits}, misses={self.misses}{sub})")
 
 
 def out_buffer(workspace: Workspace | None, slot: str, size: int, dtype) -> np.ndarray:

@@ -6,7 +6,7 @@ paper's Figure 3 guidance: warp-level MS is fastest for small bucket
 counts, block-level MS for larger ones, and reduced-bit sort once the
 bucket count grows past the warp-synchronous methods' useful range.
 
-Two execution engines share this entry point:
+Several execution engines share this entry point:
 
 * ``engine="emulate"`` (default) — the paper-faithful SIMT emulation;
   results carry the priced kernel timeline.
@@ -14,6 +14,12 @@ Two execution engines share this entry point:
   the bit-identical permutation with ``timeline=None``, optionally
   reusing scratch across calls via a
   :class:`~repro.engine.Workspace`.
+* ``engine="sharded"`` — the paper's {local, global, local} prescan /
+  scan / postscan decomposition run shard-parallel across worker
+  threads (stable family only; still bit-identical).
+* ``engine="auto"`` — production dispatch between the two result-only
+  engines: sharded above a calibrated input size (or whenever
+  ``shards=`` is given) for stable methods, fast otherwise.
 
 ``multisplit_batch`` runs many independent multisplits through one
 dispatcher (shared specs, pooled scratch, thread-pool fan-out).
@@ -68,9 +74,27 @@ def _pick_auto(m: int) -> "Method":
     return Method.REDUCED_BIT
 
 
+def _pick_engine(n: int, method_value: str, shards, max_workers) -> str:
+    """``engine="auto"``: dispatch between the two result-only engines.
+
+    Sharded wins above ``SHARDED_AUTO_MIN_N`` keys (cache-resident
+    shards beat the monolithic pipeline even single-threaded, and
+    worker threads stack on top); an explicit ``shards=`` request
+    forces it. Non-stable methods only exist in the fast engine.
+    """
+    from repro.engine import STABLE_METHODS
+    from repro.engine.sharded import SHARDED_AUTO_MIN_N
+    if method_value not in STABLE_METHODS:
+        return "fast"
+    if shards is not None or n >= SHARDED_AUTO_MIN_N:
+        return "sharded"
+    return "fast"
+
+
 def multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
                values: np.ndarray | None = None, method: Method | str = Method.AUTO,
                engine: str = "emulate", workspace=None,
+               shards: int | None = None, max_workers: int | None = None,
                device=None, warps_per_block: int = 8, **kwargs) -> MultisplitResult:
     """Permute ``keys`` (and optionally ``values``) into contiguous buckets.
 
@@ -89,17 +113,27 @@ def multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
     engine:
         ``"emulate"`` (default) runs the paper-faithful SIMT emulation
         and prices a timeline; ``"fast"`` runs the fused result-only
-        kernels of :mod:`repro.engine` — the bit-identical permutation
-        with ``timeline=None``.
+        kernels of :mod:`repro.engine`; ``"sharded"`` runs the
+        shard-parallel {local, global, local} engine (stable methods
+        only); ``"auto"`` picks between fast and sharded by input size.
+        All three result-only engines return the bit-identical
+        permutation with ``timeline=None``.
     workspace:
         Optional :class:`~repro.engine.Workspace` reused across calls.
-        With ``engine="fast"`` it pools scratch *and* (by default)
-        result buffers — see the workspace ownership contract; with
-        ``engine="emulate"`` it pools the warp-tile padding arrays.
+        With the result-only engines it pools scratch *and* (by
+        default) result buffers — see the workspace ownership contract;
+        with ``engine="emulate"`` it pools the warp-tile padding
+        arrays. The sharded engine additionally carves one sub-arena
+        per worker thread from it.
+    shards / max_workers:
+        Decomposition knobs for ``engine="sharded"`` (and ``"auto"``,
+        where an explicit ``shards=`` forces sharded): shard count and
+        worker-thread cap. Never affect results. Rejected with the
+        other engines.
     device:
         A :class:`~repro.simt.Device`, a ``DeviceSpec``, or ``None``
         (fresh K40c); the emulated-kernel timeline is returned on the
-        result. Ignored by ``engine="fast"``.
+        result. Ignored by the result-only engines.
 
     Returns
     -------
@@ -110,6 +144,16 @@ def multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
     method = Method(method)
     if method is Method.AUTO:
         method = _pick_auto(spec.num_buckets)
+
+    requested = engine
+    if engine == "auto":
+        engine = _pick_engine(np.asarray(keys).size, method.value,
+                              shards, max_workers)
+    if requested not in ("sharded", "auto") and (shards is not None
+                                                or max_workers is not None):
+        raise ValueError(
+            "shards/max_workers are sharded-engine knobs; pass them with "
+            f"engine='sharded' or engine='auto' (got engine={requested!r})")
 
     reg = get_registry()
     reg.inc("api.multisplit.calls", 1, engine=engine, method=method.value)
@@ -122,8 +166,16 @@ def multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
         return fast_multisplit(keys, spec, values=values, method=method.value,
                                workspace=workspace,
                                warps_per_block=warps_per_block, **kwargs)
+    if engine == "sharded":
+        from repro.engine import sharded_multisplit
+        return sharded_multisplit(keys, spec, values=values, method=method.value,
+                                  workspace=workspace, shards=shards,
+                                  max_workers=max_workers,
+                                  warps_per_block=warps_per_block, **kwargs)
     if engine != "emulate":
-        raise ValueError(f"engine must be 'emulate' or 'fast', got {engine!r}")
+        raise ValueError(
+            f"engine must be 'emulate', 'fast', 'sharded', or 'auto', "
+            f"got {engine!r}")
     if workspace is not None and method in (Method.DIRECT, Method.WARP,
                                             Method.BLOCK, Method.SPARSE_BLOCK):
         # the warp-tiled methods pool their padding arrays; the others

@@ -40,6 +40,14 @@ class BucketSpec:
     kernel.
     """
 
+    #: True when ``ids`` maps each key independently of the rest of the
+    #: array, so evaluating the spec chunk-by-chunk yields the same ids
+    #: as one whole-array call. The sharded engine relies on this to
+    #: evaluate bucket ids per shard; specs that inspect the whole array
+    #: (or wrap unknown callables) must leave it False and are evaluated
+    #: once, globally.
+    elementwise = False
+
     def __init__(self, num_buckets: int, instruction_cost: int = 2):
         if num_buckets < 1:
             raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
@@ -61,6 +69,8 @@ class BucketSpec:
 class RangeBuckets(BucketSpec):
     """``m`` equal-width ranges of ``[lo, hi)`` (default: full uint32 domain)."""
 
+    elementwise = True
+
     def __init__(self, num_buckets: int, lo: int = 0, hi: int = 2**32):
         super().__init__(num_buckets, instruction_cost=3)
         if not lo < hi:
@@ -80,6 +90,8 @@ class RangeBuckets(BucketSpec):
 class IdentityBuckets(BucketSpec):
     """``B_i = {i}``: each key *is* its bucket id (keys must be < m)."""
 
+    elementwise = True
+
     def __init__(self, num_buckets: int):
         super().__init__(num_buckets, instruction_cost=0)
 
@@ -91,6 +103,8 @@ class IdentityBuckets(BucketSpec):
 
 class DeltaBuckets(BucketSpec):
     """``min(key // delta, m-1)``: delta-stepping SSSP bucketing."""
+
+    elementwise = True
 
     def __init__(self, delta: float, num_buckets: int):
         super().__init__(num_buckets, instruction_cost=3)
@@ -132,11 +146,18 @@ class PrimeCompositeBuckets(BucketSpec):
 
 
 class CustomBuckets(BucketSpec):
-    """Wrap an arbitrary vectorized callable ``keys -> bucket ids``."""
+    """Wrap an arbitrary vectorized callable ``keys -> bucket ids``.
 
-    def __init__(self, fn, num_buckets: int, instruction_cost: int = 4):
+    Pass ``elementwise=True`` only when ``fn`` maps each key without
+    looking at the rest of the array — it lets the sharded engine
+    evaluate the spec per shard (in parallel) instead of once globally.
+    """
+
+    def __init__(self, fn, num_buckets: int, instruction_cost: int = 4, *,
+                 elementwise: bool = False):
         super().__init__(num_buckets, instruction_cost=instruction_cost)
         self.fn = fn
+        self.elementwise = bool(elementwise)
 
     def ids(self, keys: np.ndarray) -> np.ndarray:
         out = np.asarray(self.fn(keys))

@@ -72,6 +72,19 @@ class TestBatch:
                  for r in results}
         assert len(bases) == len(results)
 
+    def test_parallel_path_uses_caller_workspace(self):
+        # the caller's arena must seed one pool thread instead of being
+        # silently dropped on the threaded fan-out path
+        batch = make_batch(8, seed=7, lo=40_000, hi=70_000)
+        ws = Workspace(reuse_outputs=False)
+        before = ws.hits + ws.misses
+        results = multisplit_batch(batch, RangeBuckets(16), workspace=ws,
+                                   max_workers=2)
+        assert ws.hits + ws.misses > before, "caller workspace never used"
+        seq = multisplit_batch(batch, RangeBuckets(16), max_workers=1)
+        for a, b in zip(seq, results):
+            assert np.array_equal(a.keys, b.keys)
+
     def test_mismatched_lengths_rejected(self):
         batch = make_batch(3, seed=6)
         with pytest.raises(ValueError):

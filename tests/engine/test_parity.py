@@ -91,6 +91,39 @@ def test_parity_randomized_seeds():
         check_engine_parity(keys, RangeBuckets(8), method="randomized", seed=seed)
 
 
+def test_parity_randomized_overflow_fallback(monkeypatch):
+    # force every item through the deterministic linear-probe tail: with
+    # zero dart rounds both engines must fall back, and the fast
+    # engine's grouped-by-buffer vectorized fill must reproduce the
+    # emulation's per-item probe bit for bit
+    from repro.multisplit import randomized as rnd_mod
+    monkeypatch.setattr(rnd_mod, "_MAX_ROUNDS", 0)
+    keys = np.random.default_rng(17).integers(0, 2**32, 700, dtype=np.uint32)
+    values = np.arange(700, dtype=np.uint32)
+    check_engine_parity(keys, RangeBuckets(8), values=values,
+                        method="randomized", seed=3)
+
+
+def test_fused_sort_based_monotonicity_contract():
+    # the O(n + m) range check must keep the old error contract: raise
+    # exactly when a smaller key lands in a larger bucket
+    keys = np.random.default_rng(19).integers(0, 2**32, 4096, dtype=np.uint32)
+    res = multisplit(keys, RangeBuckets(16), method="radix_sort", engine="fast")
+    assert res.method == "radix_sort"
+    reversed_spec = RangeBuckets(16)
+    ids = reversed_spec.ids
+
+    def flipped(k):
+        return (15 - ids(k)).astype(np.uint32)
+
+    with pytest.raises(ValueError, match="monotone"):
+        multisplit(keys, flipped, 16, method="radix_sort", engine="fast")
+    # empty buckets between occupied ones must not trip the check
+    sparse = np.concatenate([np.zeros(10, np.uint32),
+                             np.full(10, 2**31, np.uint32)])
+    multisplit(sparse, RangeBuckets(200), method="radix_sort", engine="fast")
+
+
 def test_parity_radix_sort_reduced_bits():
     keys = np.random.default_rng(11).integers(0, 2**16, 700, dtype=np.uint32)
     check_engine_parity(keys, RangeBuckets(4, lo=0, hi=2**16),
