@@ -1,0 +1,308 @@
+"""Process-pool executor strategy over shared-memory arrays.
+
+The sharded engine's thread pool tops out well short of linear scaling
+(3.7x at 4 workers in ``BENCH_sharded.json``) because only the big
+numpy kernels release the GIL — the per-shard Python orchestration, the
+histogram bookkeeping, and every small-shard kernel serialize. This
+module removes the GIL from the equation: shard *stripes* run in a
+``ProcessPoolExecutor``, and all bulk data (keys, values, narrowed
+bucket ids, both outputs) lives in ``multiprocessing.shared_memory``
+segments, so the only things crossing the process boundary are segment
+names and ``m x P`` histogram/offset matrices (a few KB).
+
+This mirrors the paper's own scaling argument one level up: GPU sample
+sort (arXiv 0909.5649) and the multisplit extended study run the same
+bucket decomposition across independent compute units; worker processes
+are the CPU's independent compute units.
+
+Execution shape (the {local, global, local} phases of
+:mod:`repro.engine.sharded`, with rounds instead of thread stripes):
+
+1. parent evaluates bucket ids once (user specs are arbitrary Python —
+   they may not pickle, and evaluating them per-process would charge
+   the spec cost ``W`` times) and publishes keys/values/ids to shm;
+2. round 1: each worker prescans its shard stripe and returns its rows
+   of the count matrix plus per-shard monotonicity flags;
+3. parent runs the tiny chunk-major exclusive scan (Eq. 1) exactly as
+   the thread path does;
+4. round 2: each worker stable-counting-scatters its stripe straight
+   into the shared output segments (disjoint destinations, so no
+   synchronization is needed beyond the round barrier).
+
+Results are bit-identical to every other backend: the scatter
+destinations are fully precomputed, so process scheduling cannot
+perturb the permutation.
+
+Lifecycle: pools are cached per worker count and shut down at
+interpreter exit; shm segments are pooled grow-only in the caller's
+:class:`~repro.engine.workspace.Workspace` (registered for cleanup
+there) or created ephemerally and released before returning, in which
+case results are copied into ordinary arrays first.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .base import KernelBackend, narrow_ids_dtype
+from .numpy_backend import NumpyBackend
+
+__all__ = ["ProcPoolBackend", "run_procpool"]
+
+# in-worker kernels: the numpy backend, so every byte a worker writes is
+# produced by the same (parity-locked) kernels the default backend runs
+_KERNELS = NumpyBackend()
+
+
+class ProcPoolBackend(KernelBackend):
+    """Shared-memory process-pool execution of the sharded phases.
+
+    As a *kernel* backend it simply exposes the numpy kernels (they are
+    what runs inside the workers); its real contract is
+    ``executor="process"``, which the sharded engine routes through
+    :func:`run_procpool`. Only meaningful under ``engine="sharded"`` /
+    ``engine="auto"`` — the monolithic fast engine rejects it.
+    """
+
+    name = "procpool"
+    executor = "process"
+
+    def prescan(self, ids, m):
+        return _KERNELS.prescan(ids, m)
+
+    def scatter(self, *args, **kwargs):
+        return _KERNELS.scatter(*args, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# pool + segment plumbing
+# ---------------------------------------------------------------------------
+
+_pools: dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    """A cached pool with ``workers`` processes (spawned once, reused)."""
+    pool = _pools.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _pools[workers] = pool
+    return pool
+
+
+@atexit.register
+def _shutdown_pools() -> None:  # pragma: no cover - interpreter teardown
+    for pool in _pools.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _pools.clear()
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment without registering it for cleanup.
+
+    The parent (creator) owns unlinking. On 3.13+ ``track=False`` opts
+    out of the worker's resource tracker; earlier interpreters have no
+    such knob, so the register call is suppressed during the attach.
+    (Unregistering *after* the fact is wrong under fork: the worker
+    shares the parent's tracker process, whose per-name cache is a set,
+    so the unregister would cancel the parent's own registration.)
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        from multiprocessing import resource_tracker
+        orig = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = orig
+
+
+# Per-worker attach cache: re-attaching (open + mmap) every round costs
+# more than the kernels on small shards. Bounded so a long-lived worker
+# cannot pin an unbounded set of grown-and-replaced segments. Eviction
+# happens only in _prune_cache at task *start* — closing an mmap while
+# the current task holds numpy views into it would pull pages out from
+# under live pointers — so the cache can transiently exceed the cap by
+# the handful of segments one task touches.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+_ATTACH_CAP = 16
+
+
+def _prune_cache() -> None:
+    """Drop oldest attachments down to the cap (call with no views live)."""
+    while len(_ATTACHED) > _ATTACH_CAP:
+        name = next(iter(_ATTACHED))
+        _ATTACHED.pop(name).close()
+
+
+def _view(name: str, n: int, dtype: str) -> np.ndarray:
+    seg = _ATTACHED.get(name)
+    if seg is None:
+        seg = _attach(name)
+        _ATTACHED[name] = seg
+    return np.ndarray(n, dtype=np.dtype(dtype), buffer=seg.buf)
+
+
+def _stripe(w: int, meta: dict) -> list[int]:
+    return list(range(w, meta["P"], meta["workers"]))
+
+
+def _bounds(p: int, meta: dict) -> slice:
+    return slice(p * meta["chunk"], min((p + 1) * meta["chunk"], meta["n"]))
+
+
+def _worker_prescan(meta: dict, w: int):
+    """Round 1: histogram + monotone flag for every shard in stripe ``w``."""
+    _prune_cache()
+    ids = _view(*meta["ids"])
+    m = meta["m"]
+    ps = _stripe(w, meta)
+    hist = np.empty((len(ps), m), dtype=np.int64)
+    mono = np.empty(len(ps), dtype=bool)
+    for j, p in enumerate(ps):
+        shard = ids[_bounds(p, meta)]
+        hist[j], mono[j] = _KERNELS.prescan(shard, m)
+    return w, hist, mono
+
+
+def _worker_postscan(meta: dict, w: int, counts: np.ndarray,
+                     offsets: np.ndarray, mono: np.ndarray) -> int:
+    """Round 2: stable counting scatter of stripe ``w`` into the outputs."""
+    _prune_cache()
+    ids = _view(*meta["ids"])
+    keys = _view(*meta["keys"])
+    out_keys = _view(*meta["out_keys"])
+    values = out_values = None
+    if meta["kv"]:
+        values = _view(*meta["values"])
+        out_values = _view(*meta["out_values"])
+    for j, p in enumerate(_stripe(w, meta)):
+        s = _bounds(p, meta)
+        if s.stop == s.start:
+            continue
+        _KERNELS.scatter(
+            keys[s], values[s] if values is not None else None, ids[s],
+            counts[j], offsets[j], out_keys, out_values,
+            monotone=bool(mono[j]))
+    return w
+
+
+# ---------------------------------------------------------------------------
+# the sharded-engine entry point
+# ---------------------------------------------------------------------------
+
+def run_procpool(keys, spec, values, method: str, workspace,
+                 P: int, workers: int, reg):
+    """The {local, global, local} phases over a shared-memory process pool.
+
+    Called by :func:`repro.engine.sharded.sharded_multisplit` when the
+    resolved backend has ``executor="process"``; same contract
+    (bit-identical stable permutation), different execution substrate.
+    """
+    from repro.multisplit.result import MultisplitResult
+    from ..fused import _starts
+    from ..sharded import scan_offsets, already_partitioned
+    from ..workspace import Workspace
+
+    m = spec.num_buckets
+    n = keys.size
+    kv = values is not None
+    chunk = -(-n // P) if n else 0
+    ids_dtype = narrow_ids_dtype(m)
+
+    ephemeral = workspace is None
+    ws = Workspace() if ephemeral else workspace
+    pool_outputs = (not ephemeral) and ws.reuse_outputs
+
+    def seg(slot, size, dtype):
+        arr, name = ws.take_shm(slot, size, dtype)
+        return arr, (name, size, str(np.dtype(dtype)))
+
+    k_arr, k_ref = seg("pp_keys", n, keys.dtype)
+    ids_arr, ids_ref = seg("pp_ids", n, ids_dtype)
+    out_k, out_k_ref = seg("pp_out_keys", n, keys.dtype)
+    v_arr = out_v = None
+    v_ref = out_v_ref = None
+    if kv:
+        v_arr, v_ref = seg("pp_values", n, values.dtype)
+        out_v, out_v_ref = seg("pp_out_values", n, values.dtype)
+
+    with reg.timer("engine.sharded.prescan_ms", method=method).time():
+        np.copyto(k_arr, keys)
+        if kv:
+            np.copyto(v_arr, values)
+        # one parent-side spec evaluation: identical to the thread path's
+        # per-shard evaluation for elementwise specs (their contract) and
+        # to its single global evaluation for everything else
+        np.copyto(ids_arr, spec(keys), casting="unsafe")
+
+        meta = {
+            "n": n, "m": m, "P": P, "chunk": chunk, "workers": workers,
+            "kv": kv, "ids": ids_ref, "keys": k_ref, "out_keys": out_k_ref,
+            "values": v_ref, "out_values": out_v_ref,
+        }
+        pool = _get_pool(workers)
+        hist = np.zeros((P, m), dtype=np.int64)
+        shard_monotone = np.zeros(P, dtype=bool)
+        try:
+            for w, rows, mono in pool.map(
+                    _worker_prescan, [meta] * workers, range(workers)):
+                ps = list(range(w, P, workers))
+                hist[ps] = rows
+                shard_monotone[ps] = mono
+        except BrokenProcessPool:
+            _pools.pop(workers, None)
+            raise
+
+    with reg.timer("engine.sharded.scan_ms", method=method).time():
+        counts = hist.sum(axis=0)
+        starts = _starts(counts, m, workspace)
+        already = already_partitioned(hist, shard_monotone, ids_arr, chunk, n)
+        if not already:
+            offsets = scan_offsets(hist, m, P)
+
+    with reg.timer("engine.sharded.postscan_ms", method=method).time():
+        if already:
+            np.copyto(out_k, keys)
+            if kv:
+                np.copyto(out_v, values)
+        else:
+            try:
+                stripes = [list(range(w, P, workers)) for w in range(workers)]
+                list(pool.map(
+                    _worker_postscan, [meta] * workers, range(workers),
+                    [hist[ps] for ps in stripes],
+                    [offsets[ps] for ps in stripes],
+                    [shard_monotone[ps] for ps in stripes]))
+            except BrokenProcessPool:
+                _pools.pop(workers, None)
+                raise
+
+    if reg.enabled:
+        reg.set_gauge("engine.backend.shm_bytes", ws.shm_nbytes,
+                      backend="procpool")
+
+    if pool_outputs:
+        out_keys, out_values = out_k, out_v
+    else:
+        # results must outlive the segments (ephemeral arena, or a
+        # reuse_outputs=False workspace as multisplit_batch requires)
+        out_keys = out_k.copy()
+        out_values = out_v.copy() if kv else None
+    if ephemeral:
+        del k_arr, ids_arr, out_k, v_arr, out_v  # drop views before unlink
+        ws.release_shm()
+
+    return MultisplitResult(
+        keys=out_keys, values=out_values, bucket_starts=starts,
+        method=method, num_buckets=m, timeline=None, stable=True,
+        extra={"engine": "sharded", "backend": "procpool",
+               "shards": P, "workers": workers},
+    )

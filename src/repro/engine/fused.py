@@ -84,16 +84,21 @@ def coerce_and_check(keys, values, method: str, m: int):
 
 def fast_multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
                     values: np.ndarray | None = None, method: str = "auto",
-                    workspace: Workspace | None = None,
+                    workspace: Workspace | None = None, backend=None,
                     **kwargs) -> MultisplitResult:
     """Result-only multisplit, bit-identical to ``engine="emulate"``.
 
-    ``kwargs`` accepts the emulated methods' tuning knobs; launch-shape
-    parameters (``warps_per_block``, ``items_per_lane``, ``device``)
-    are ignored because they do not affect results, while
-    result-affecting ones (``bits``, ``relaxation``, ``seed``) are
-    honored.
+    ``backend`` selects the stable family's histogram/scatter kernels
+    (``"numpy"`` default, ``"numba"`` compiled with graceful fallback,
+    or a :class:`~repro.engine.backends.KernelBackend` instance); it
+    never changes results. ``"procpool"`` is a sharded-engine executor
+    and is rejected here. ``kwargs`` accepts the emulated methods'
+    tuning knobs; launch-shape parameters (``warps_per_block``,
+    ``items_per_lane``, ``device``) are ignored because they do not
+    affect results, while result-affecting ones (``bits``,
+    ``relaxation``, ``seed``) are honored.
     """
+    from .backends import resolve_backend
     spec = as_bucket_spec(spec_or_fn, num_buckets)
     method = getattr(method, "value", method)
     if method == "auto":
@@ -104,16 +109,29 @@ def fast_multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None
 
     m = spec.num_buckets
     keys, values = coerce_and_check(keys, values, method, m)
+    bk = resolve_backend(backend)
+    if bk.executor == "process":
+        raise ValueError(
+            "backend='procpool' executes shard stripes in worker processes "
+            "and only exists under engine='sharded'; use engine='sharded' "
+            "or engine='auto'")
+    if method not in STABLE_METHODS and bk.name != "numpy":
+        raise ValueError(
+            f"backend={bk.name!r} supports the stable method family "
+            f"({', '.join(sorted(STABLE_METHODS))}); {method!r} runs on the "
+            "numpy backend only")
 
     reg = get_registry()
     reg.inc("engine.fast.calls", 1, method=method)
+    reg.inc("engine.backend.calls", 1, backend=bk.name, engine="fast")
     if reg.enabled:
         reg.inc("engine.fast.keys", keys.size, method=method)
         reg.inc("engine.fast.buckets", m, method=method)
+        reg.set_gauge("engine.backend.name", 1, backend=bk.name)
     with reg.timer("engine.fast.run_ms", method=method,
                    kv=values is not None).time():
         if method in STABLE_METHODS:
-            return _fused_stable(keys, spec, values, method, workspace)
+            return _fused_stable(keys, spec, values, method, workspace, bk)
         if method == "radix_sort":
             return _fused_sort_based(keys, spec, values, workspace,
                                      bits=int(kwargs.get("bits", 32)))
@@ -157,9 +175,11 @@ def _stable_order(ids: np.ndarray, m: int,
 
 
 def _fused_stable(keys, spec: BucketSpec, values, method: str,
-                  workspace: Workspace | None) -> MultisplitResult:
+                  workspace: Workspace | None, bk) -> MultisplitResult:
     m = spec.num_buckets
     n = keys.size
+    if bk.name != "numpy":
+        return _fused_stable_backend(keys, spec, values, method, workspace, bk)
     ids = spec(keys)
     counts = np.bincount(ids, minlength=m)
     starts = _starts(counts, m, workspace)
@@ -184,7 +204,53 @@ def _fused_stable(keys, spec: BucketSpec, values, method: str,
     return MultisplitResult(
         keys=out_keys, values=out_values, bucket_starts=starts,
         method=method, num_buckets=m, timeline=None, stable=True,
-        extra={"engine": "fast"},
+        extra={"engine": "fast", "backend": "numpy"},
+    )
+
+
+def _fused_stable_backend(keys, spec: BucketSpec, values, method: str,
+                          workspace: Workspace | None, bk) -> MultisplitResult:
+    """The monolithic stable pass through a non-default kernel backend.
+
+    The whole input is one "shard": one fused prescan (histogram +
+    monotonicity) and, when not already partitioned, one stable
+    counting scatter whose per-bucket cursor starts at the exclusive
+    scan of the counts. A stable multisplit's permutation is unique, so
+    this is bit-identical to the numpy path's argsort pipeline.
+    """
+    from .backends import narrow_ids_dtype
+    m = spec.num_buckets
+    n = keys.size
+    kv = values is not None
+    ids_dtype = narrow_ids_dtype(m)
+    ids = spec(keys)
+    if workspace is not None:
+        ids_n = workspace.take("sort_ids", n, ids_dtype)
+        np.copyto(ids_n, ids, casting="unsafe")
+    else:
+        ids_n = ids.astype(ids_dtype, copy=False)
+
+    reg = get_registry()
+    compile_ms = bk.warmup(keys.dtype, values.dtype if kv else None, ids_dtype)
+    if reg.enabled and compile_ms:
+        reg.set_gauge("engine.backend.compile_ms",
+                      getattr(bk, "compile_ms", compile_ms), backend=bk.name)
+
+    counts, monotone = bk.prescan(ids_n, m)
+    starts = _starts(counts, m, workspace)
+    out_keys = out_buffer(workspace, "keys", n, keys.dtype)
+    out_values = out_buffer(workspace, "values", n, values.dtype) if kv else None
+    if monotone:  # covers n <= 1, m == 1, and single-bucket inputs
+        out_keys[:] = keys
+        if kv:
+            out_values[:] = values
+    else:
+        bk.scatter(keys, values, ids_n, counts, starts[:-1],
+                   out_keys, out_values, monotone=False, arena=None)
+    return MultisplitResult(
+        keys=out_keys, values=out_values, bucket_starts=starts,
+        method=method, num_buckets=m, timeline=None, stable=True,
+        extra={"engine": "fast", "backend": bk.name},
     )
 
 

@@ -42,10 +42,11 @@ def parity_report(keys, spec_or_fn, num_buckets: int | None = None, *,
     ``{"match": bool, "mismatches": [...], ...}``.
     """
     from repro.multisplit.api import multisplit
-    # the sharded engine's decomposition knobs do not exist on the
-    # emulated side and never affect results; keep them out of its call
+    # the result-only engines' decomposition/backend knobs do not exist
+    # on the emulated side and never affect results; keep them out of
+    # its call
     emu_kwargs = {k: v for k, v in kwargs.items()
-                  if k not in ("shards", "max_workers")}
+                  if k not in ("shards", "max_workers", "backend")}
     fast = multisplit(keys, spec_or_fn, num_buckets, values=values,
                       method=method, engine=engine, **kwargs)
     emu = multisplit(keys, spec_or_fn, num_buckets, values=values,

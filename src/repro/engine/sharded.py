@@ -52,10 +52,12 @@ import numpy as np
 from repro.multisplit.bucketing import as_bucket_spec
 from repro.multisplit.result import MultisplitResult
 from repro.obs import get_registry
+from .backends import narrow_ids_dtype, resolve_backend
 from .fused import STABLE_METHODS, coerce_and_check, _starts
 from .workspace import Workspace, out_buffer
 
-__all__ = ["sharded_multisplit", "SHARDED_AUTO_MIN_N", "DEFAULT_SHARD_KEYS"]
+__all__ = ["sharded_multisplit", "SHARDED_AUTO_MIN_N",
+           "SHARDED_AUTO_MIN_N_SINGLE", "DEFAULT_SHARD_KEYS"]
 
 # ~32K keys per shard keeps a shard's ids + permutation + gathered
 # output L2-resident; calibrated on the chunk-size sweep in
@@ -70,6 +72,13 @@ MAX_SHARDS = 4096
 # it the sharded pipeline wins on cache locality alone (and further on
 # worker threads); calibrated alongside DEFAULT_SHARD_KEYS
 SHARDED_AUTO_MIN_N = 1 << 19
+# single-worker crossover: with no thread-level parallelism available
+# (max_workers=1, or a 1-core host and no explicit request) only the
+# cache-locality win remains, and its fixed per-shard overhead pushes
+# the break-even point out by ~4x; engine="auto" uses this higher floor
+# so a tiny machine is not sharded for inputs where fast is the better
+# monolithic choice
+SHARDED_AUTO_MIN_N_SINGLE = SHARDED_AUTO_MIN_N * 4
 _DEFAULT_MAX_WORKERS = 4
 
 
@@ -89,18 +98,44 @@ def _resolve_shards(n: int, shards: int | None, workers: int) -> int:
     return max(1, min(max(by_cache, workers), MAX_SHARDS, max(n, 1)))
 
 
-def _narrow_dtype(m: int):
-    if m <= (1 << 8):
-        return np.uint8
-    if m <= (1 << 16):
-        return np.uint16
-    return np.uint32
+def scan_offsets(hist: np.ndarray, m: int, P: int) -> np.ndarray:
+    """Eq. 1, chunk-major: the ``P x m`` matrix of per-shard bucket bases.
+
+    ``offset[b][p]`` walks buckets in the outer dimension and shards in
+    the inner one, so each shard's run of bucket ``b`` lands directly
+    after the runs of every earlier shard. Shared by the thread and
+    procpool executors (the scan is the *global* phase — it always runs
+    in the coordinating process).
+    """
+    flat = np.ascontiguousarray(hist.T).ravel()
+    scanned = np.zeros(m * P, dtype=np.int64)
+    np.cumsum(flat[:-1], out=scanned[1:])
+    return np.ascontiguousarray(scanned.reshape(m, P).T)
+
+
+def already_partitioned(hist: np.ndarray, shard_monotone: np.ndarray,
+                        ids, chunk: int, n: int) -> bool:
+    """Whether the input is already bucket-grouped (identity permutation).
+
+    Global monotonicity decomposes into per-shard monotonicity plus
+    non-decreasing shard boundaries — mirrors the fused engine's short
+    circuit. ``ids`` is the narrowed whole-input id array; shard ``p``
+    spans ``[p * chunk, min((p + 1) * chunk, n))``.
+    """
+    nonempty = np.flatnonzero(hist.sum(axis=1))
+    already = bool(shard_monotone[nonempty].all()) if nonempty.size else True
+    if already and nonempty.size > 1:
+        firsts = ids[nonempty * chunk]
+        lasts = ids[np.minimum((nonempty + 1) * chunk, n) - 1]
+        already = bool((lasts[:-1] <= firsts[1:]).all())
+    return already
 
 
 def sharded_multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
                        values: np.ndarray | None = None, method: str = "auto",
                        workspace: Workspace | None = None,
                        shards: int | None = None, max_workers: int | None = None,
+                       backend=None,
                        **kwargs) -> MultisplitResult:
     """Sharded result-only multisplit, bit-identical to ``engine="emulate"``.
 
@@ -115,6 +150,14 @@ def sharded_multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = N
         ``min(4, cpu_count)``. ``1`` runs sequentially (still faster
         than the monolithic fast path at large ``n`` thanks to
         cache-resident shards). Results never depend on this knob.
+    backend:
+        Kernel backend for the per-shard prescan/postscan (a name or a
+        :class:`~repro.engine.backends.KernelBackend`): ``"numpy"``
+        (default), ``"numba"`` (compiled, falls back to numpy when
+        absent), ``"procpool"`` (shard stripes in a shared-memory
+        process pool instead of threads), or ``"auto"``. Results never
+        depend on this knob either — every backend produces the
+        bit-identical stable permutation.
 
     Like :func:`~repro.engine.fast_multisplit`, launch-shape ``kwargs``
     (``warps_per_block``, ``items_per_lane``, ``device``) are accepted
@@ -137,22 +180,35 @@ def sharded_multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = N
     workers = _resolve_workers(max_workers)
     num_shards = _resolve_shards(n, shards, workers)
     workers = min(workers, num_shards)
+    bk = resolve_backend(backend)
 
     reg = get_registry()
     reg.inc("engine.sharded.calls", 1, method=method)
+    reg.inc("engine.backend.calls", 1, backend=bk.name, engine="sharded")
     if reg.enabled:
         reg.inc("engine.sharded.keys", n, method=method)
         reg.inc("engine.sharded.buckets", m, method=method)
         reg.set_gauge("engine.sharded.shards", num_shards, method=method)
         reg.set_gauge("engine.sharded.workers", workers, method=method)
+        reg.set_gauge("engine.backend.name", 1, backend=bk.name)
+        reg.set_gauge("engine.backend.workers", workers, backend=bk.name)
+    compile_ms = bk.warmup(keys.dtype, values.dtype if values is not None else None,
+                           narrow_ids_dtype(m))
+    if reg.enabled and compile_ms:
+        reg.set_gauge("engine.backend.compile_ms",
+                      getattr(bk, "compile_ms", compile_ms), backend=bk.name)
     with reg.timer("engine.sharded.run_ms", method=method,
                    kv=values is not None).time():
+        if bk.executor == "process" and n > 0:
+            from .backends.procpool import run_procpool
+            return run_procpool(keys, spec, values, method, workspace,
+                                num_shards, workers, reg)
         return _run_sharded(keys, spec, values, method, workspace,
-                            num_shards, workers, reg)
+                            num_shards, workers, reg, bk)
 
 
 def _run_sharded(keys, spec, values, method: str, workspace: Workspace | None,
-                 P: int, workers: int, reg) -> MultisplitResult:
+                 P: int, workers: int, reg, bk) -> MultisplitResult:
     m = spec.num_buckets
     n = keys.size
     kv = values is not None
@@ -167,11 +223,11 @@ def _run_sharded(keys, spec, values, method: str, workspace: Workspace | None,
     # arena usage is deterministic
     if workspace is not None:
         arenas = [workspace.subarena(f"shard-worker{w}") for w in range(workers)]
-        ids_dtype = _narrow_dtype(m)
+        ids_dtype = narrow_ids_dtype(m)
         ids8 = workspace.take("sharded_ids", n, ids_dtype)
     else:
         arenas = [Workspace() for _ in range(workers)]
-        ids_dtype = _narrow_dtype(m)
+        ids_dtype = narrow_ids_dtype(m)
         ids8 = np.empty(n, dtype=ids_dtype)
 
     # non-elementwise specs (arbitrary callables, whole-array bucketings)
@@ -186,9 +242,7 @@ def _run_sharded(keys, spec, values, method: str, workspace: Workspace | None,
             s = bounds(p)
             cids = spec(keys[s]) if global_ids is None else global_ids[s]
             np.copyto(ids8[s], cids, casting="unsafe")
-            hist[p] = np.bincount(ids8[s], minlength=m)
-            shard_monotone[p] = (cids.size <= 1
-                                 or bool((cids[1:] >= cids[:-1]).all()))
+            hist[p], shard_monotone[p] = bk.prescan(ids8[s], m)
 
     pool = ThreadPoolExecutor(max_workers=workers) if workers > 1 else None
     try:
@@ -202,24 +256,10 @@ def _run_sharded(keys, spec, values, method: str, workspace: Workspace | None,
             counts = hist.sum(axis=0)
             starts = _starts(counts, m, workspace)
             # already partitioned (single bucket, presorted ids, n <= 1):
-            # the stable permutation is the identity — mirror the fused
-            # engine's short circuit. Global monotonicity decomposes into
-            # per-shard monotonicity plus non-decreasing shard boundaries.
-            nonempty = np.flatnonzero(hist.sum(axis=1))
-            already = bool(shard_monotone[nonempty].all()) if nonempty.size else True
-            if already and nonempty.size > 1:
-                firsts = ids8[[bounds(p).start for p in nonempty]]
-                lasts = ids8[[bounds(p).stop - 1 for p in nonempty]]
-                already = bool((lasts[:-1] <= firsts[1:]).all())
+            # the stable permutation is the identity — skip the scatter
+            already = already_partitioned(hist, shard_monotone, ids8, chunk, n)
             if not already:
-                # Eq. 1, chunk-major: offset[b][p] walks buckets in the
-                # outer dimension and shards in the inner one, so each
-                # shard's run of bucket b lands directly after the runs
-                # of every earlier shard
-                flat = np.ascontiguousarray(hist.T).ravel()
-                scanned = np.zeros(m * P, dtype=np.int64)
-                np.cumsum(flat[:-1], out=scanned[1:])
-                offsets = np.ascontiguousarray(scanned.reshape(m, P).T)
+                offsets = scan_offsets(hist, m, P)
 
         out_keys = out_buffer(workspace, "keys", n, keys.dtype)
         out_values = (out_buffer(workspace, "values", n, values.dtype)
@@ -229,28 +269,11 @@ def _run_sharded(keys, spec, values, method: str, workspace: Workspace | None,
             arena = arenas[w]
             for p in range(w, P, workers):
                 s = bounds(p)
-                cn = s.stop - s.start
-                if cn == 0:
+                if s.stop == s.start:
                     continue
-                if shard_monotone[p]:
-                    ks, vs = keys[s], (values[s] if kv else None)
-                else:
-                    order = np.argsort(ids8[s], kind="stable")
-                    ks = arena.take("shard_keys", cn, keys.dtype)
-                    np.take(keys[s], order, out=ks)
-                    if kv:
-                        vs = arena.take("shard_values", cn, values.dtype)
-                        np.take(values[s], order, out=vs)
-                cnt = hist[p]
-                offs = offsets[p]
-                done = 0
-                for b in np.flatnonzero(cnt):
-                    cb = int(cnt[b])
-                    o = int(offs[b])
-                    out_keys[o:o + cb] = ks[done:done + cb]
-                    if kv:
-                        out_values[o:o + cb] = vs[done:done + cb]
-                    done += cb
+                bk.scatter(keys[s], values[s] if kv else None, ids8[s],
+                           hist[p], offsets[p], out_keys, out_values,
+                           monotone=bool(shard_monotone[p]), arena=arena)
 
         with reg.timer("engine.sharded.postscan_ms", method=method).time():
             if already:
@@ -268,5 +291,6 @@ def _run_sharded(keys, spec, values, method: str, workspace: Workspace | None,
     return MultisplitResult(
         keys=out_keys, values=out_values, bucket_starts=starts,
         method=method, num_buckets=m, timeline=None, stable=True,
-        extra={"engine": "sharded", "shards": P, "workers": workers},
+        extra={"engine": "sharded", "backend": bk.name,
+               "shards": P, "workers": workers},
     )

@@ -26,11 +26,37 @@ its thread-pool fan-out).
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
 from repro.obs import get_registry
 
 __all__ = ["Workspace"]
+
+
+def _release_segment(seg) -> None:
+    """Close + unlink one shm segment, tolerating outstanding views.
+
+    ``mmap`` refuses to close while numpy views export its buffer; in
+    that case the memory is reclaimed once the views are collected (the
+    name is unlinked immediately either way, so nothing leaks past the
+    last reference).
+    """
+    try:
+        seg.close()
+    except BufferError:
+        pass
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
+
+
+def _release_all(segments: dict) -> None:
+    for seg, _cap in segments.values():
+        _release_segment(seg)
+    segments.clear()
 
 
 class Workspace:
@@ -50,6 +76,11 @@ class Workspace:
         self.reuse_outputs = bool(reuse_outputs)
         self._slots: dict[tuple[str, np.dtype], np.ndarray] = {}
         self._children: dict[str, "Workspace"] = {}
+        # shared-memory slots for the procpool backend: (seg, capacity
+        # in elements). Registered for cleanup at gc via _finalizer and
+        # released explicitly by clear()/release_shm().
+        self._shm: dict[tuple[str, np.dtype], tuple] = {}
+        self._shm_finalizer = None
         self.hits = 0
         self.misses = 0
 
@@ -93,6 +124,56 @@ class Workspace:
             get_registry().inc("workspace.hits", 1, slot=slot)
         return buf[:size]
 
+    def take_shm(self, slot: str, size: int, dtype) -> tuple[np.ndarray, str]:
+        """A length-``size`` *shared-memory* buffer plus its segment name.
+
+        Same grow-only pooling contract as :meth:`take`, but backed by a
+        ``multiprocessing.shared_memory`` segment so worker processes
+        can attach by name (the procpool backend's bulk-data path).
+        Segments are owned by this workspace: pooled across calls,
+        unlinked by :meth:`release_shm`/:meth:`clear` and — as a
+        backstop — when the workspace is garbage collected.
+        """
+        from multiprocessing import shared_memory
+
+        dtype = np.dtype(dtype)
+        key = (slot, dtype)
+        entry = self._shm.get(key)
+        if entry is None or entry[1] < size:
+            if entry is not None:
+                _release_segment(entry[0])
+            cap = max(size, 1)
+            seg = shared_memory.SharedMemory(create=True,
+                                             size=cap * dtype.itemsize)
+            self._shm[key] = (seg, cap)
+            if self._shm_finalizer is None:
+                self._shm_finalizer = weakref.finalize(
+                    self, _release_all, self._shm)
+            self.misses += 1
+            reg = get_registry()
+            if reg.enabled:
+                reg.inc("workspace.misses", 1, slot=slot)
+                reg.inc("workspace.alloc_bytes", seg.size, slot=slot)
+                reg.set_gauge("workspace.shm_nbytes", self.shm_nbytes)
+        else:
+            seg, _cap = entry
+            self.hits += 1
+            get_registry().inc("workspace.hits", 1, slot=slot)
+        arr = np.ndarray(max(size, 1), dtype=dtype, buffer=seg.buf)[:size]
+        return arr, seg.name
+
+    def release_shm(self) -> None:
+        """Unlink every pooled shared-memory segment now."""
+        _release_all(self._shm)
+        for child in self._children.values():
+            child.release_shm()
+
+    @property
+    def shm_nbytes(self) -> int:
+        """Bytes held in shared-memory segments (sub-arenas included)."""
+        own = sum(seg.size for seg, _cap in self._shm.values())
+        return own + sum(c.shm_nbytes for c in self._children.values())
+
     def out(self, slot: str, size: int, dtype) -> np.ndarray:
         """A buffer for a *result* array: pooled only if ``reuse_outputs``."""
         if self.reuse_outputs:
@@ -106,7 +187,9 @@ class Workspace:
         return own + sum(c.nbytes for c in self._children.values())
 
     def clear(self) -> None:
-        """Release every pooled buffer and sub-arena (counters are kept)."""
+        """Release every pooled buffer, shm segment, and sub-arena
+        (counters are kept)."""
+        self.release_shm()
         self._slots.clear()
         self._children.clear()
 

@@ -74,27 +74,46 @@ def _pick_auto(m: int) -> "Method":
     return Method.REDUCED_BIT
 
 
-def _pick_engine(n: int, method_value: str, shards, max_workers) -> str:
+def _pick_engine(n: int, method_value: str, shards, max_workers,
+                 backend=None) -> str:
     """``engine="auto"``: dispatch between the two result-only engines.
 
-    Sharded wins above ``SHARDED_AUTO_MIN_N`` keys (cache-resident
-    shards beat the monolithic pipeline even single-threaded, and
-    worker threads stack on top); an explicit ``shards=`` request
-    forces it. Non-stable methods only exist in the fast engine.
+    The choice accounts for the *configuration*, not just the input
+    size:
+
+    * non-stable methods only exist in the fast engine;
+    * an explicit ``shards=`` request forces sharded;
+    * a resolved process-pool backend is a sharded-engine executor, so
+      it forces sharded too (backend availability participates here —
+      an unavailable ``"numba"`` request has already degraded to numpy
+      by the time this runs and changes nothing);
+    * otherwise the crossover depends on how many workers the sharded
+      engine would actually get: ``SHARDED_AUTO_MIN_N`` when worker
+      parallelism is available, ``SHARDED_AUTO_MIN_N_SINGLE`` (~4x
+      higher) when the call would run single-worker — a fixed size
+      threshold alone would shard tiny machines where the monolithic
+      fast path is the better choice.
     """
     from repro.engine import STABLE_METHODS
-    from repro.engine.sharded import SHARDED_AUTO_MIN_N
+    from repro.engine.sharded import (SHARDED_AUTO_MIN_N,
+                                      SHARDED_AUTO_MIN_N_SINGLE,
+                                      _resolve_workers)
     if method_value not in STABLE_METHODS:
         return "fast"
-    if shards is not None or n >= SHARDED_AUTO_MIN_N:
+    if shards is not None:
         return "sharded"
-    return "fast"
+    if backend is not None and getattr(backend, "executor", "thread") == "process":
+        return "sharded"
+    workers = _resolve_workers(max_workers)
+    floor = SHARDED_AUTO_MIN_N if workers > 1 else SHARDED_AUTO_MIN_N_SINGLE
+    return "sharded" if n >= floor else "fast"
 
 
 def multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
                values: np.ndarray | None = None, method: Method | str = Method.AUTO,
                engine: str = "emulate", workspace=None,
                shards: int | None = None, max_workers: int | None = None,
+               backend=None,
                device=None, warps_per_block: int = 8, **kwargs) -> MultisplitResult:
     """Permute ``keys`` (and optionally ``values``) into contiguous buckets.
 
@@ -130,6 +149,16 @@ def multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
         where an explicit ``shards=`` forces sharded): shard count and
         worker-thread cap. Never affect results. Rejected with the
         other engines.
+    backend:
+        Kernel backend for the result-only engines — ``"numpy"``
+        (default), ``"numba"`` (compiled kernels; degrades to numpy
+        with a one-time warning when numba is absent), ``"procpool"``
+        (sharded shard stripes in a shared-memory process pool — true
+        multi-core scaling, forces the sharded engine under
+        ``"auto"``), ``"auto"`` (numba if available), or a
+        :class:`~repro.engine.backends.KernelBackend` instance. Every
+        backend returns the bit-identical permutation; see
+        ``docs/BACKENDS.md``. Rejected with ``engine="emulate"``.
     device:
         A :class:`~repro.simt.Device`, a ``DeviceSpec``, or ``None``
         (fresh K40c); the emulated-kernel timeline is returned on the
@@ -146,14 +175,22 @@ def multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
         method = _pick_auto(spec.num_buckets)
 
     requested = engine
+    resolved_backend = backend
+    if engine in ("fast", "sharded", "auto") and backend is not None:
+        from repro.engine.backends import resolve_backend
+        resolved_backend = resolve_backend(backend)
     if engine == "auto":
         engine = _pick_engine(np.asarray(keys).size, method.value,
-                              shards, max_workers)
+                              shards, max_workers, resolved_backend)
     if requested not in ("sharded", "auto") and (shards is not None
                                                 or max_workers is not None):
         raise ValueError(
             "shards/max_workers are sharded-engine knobs; pass them with "
             f"engine='sharded' or engine='auto' (got engine={requested!r})")
+    if backend is not None and requested not in ("fast", "sharded", "auto"):
+        raise ValueError(
+            "backend selects the result-only engines' kernels; pass it with "
+            f"engine='fast', 'sharded', or 'auto' (got engine={requested!r})")
 
     reg = get_registry()
     reg.inc("api.multisplit.calls", 1, engine=engine, method=method.value)
@@ -164,13 +201,14 @@ def multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
     if engine == "fast":
         from repro.engine import fast_multisplit
         return fast_multisplit(keys, spec, values=values, method=method.value,
-                               workspace=workspace,
+                               workspace=workspace, backend=resolved_backend,
                                warps_per_block=warps_per_block, **kwargs)
     if engine == "sharded":
         from repro.engine import sharded_multisplit
         return sharded_multisplit(keys, spec, values=values, method=method.value,
                                   workspace=workspace, shards=shards,
                                   max_workers=max_workers,
+                                  backend=resolved_backend,
                                   warps_per_block=warps_per_block, **kwargs)
     if engine != "emulate":
         raise ValueError(

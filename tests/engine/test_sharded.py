@@ -196,6 +196,8 @@ class TestEngineWiring:
         from repro.multisplit import api as api_mod
         monkeypatch.setattr(
             "repro.engine.sharded.SHARDED_AUTO_MIN_N", 4096)
+        monkeypatch.setattr(
+            "repro.engine.sharded.SHARDED_AUTO_MIN_N_SINGLE", 4096)
         rng = np.random.default_rng(11)
         big = rng.integers(0, 2**32, 8192, dtype=np.uint32)
         small = big[:512]
@@ -210,7 +212,34 @@ class TestEngineWiring:
         assert multisplit(big, RangeBuckets(8), engine="auto",
                           method="radix_sort").extra["engine"] == "fast"
         assert api_mod._pick_engine(SHARDED_AUTO_MIN_N, "block",
-                                    None, None) == "sharded"
+                                    None, 2) == "sharded"
+
+    def test_auto_engine_accounts_for_workers_and_backend(self):
+        from repro.engine.backends import get_backend
+        from repro.engine.sharded import (SHARDED_AUTO_MIN_N,
+                                          SHARDED_AUTO_MIN_N_SINGLE)
+        from repro.multisplit import api as api_mod
+        assert SHARDED_AUTO_MIN_N_SINGLE > SHARDED_AUTO_MIN_N
+        # multi-worker: the calibrated floor applies
+        assert api_mod._pick_engine(
+            SHARDED_AUTO_MIN_N, "block", None, 4) == "sharded"
+        # single-worker (max_workers=1): the higher solo floor applies —
+        # sharding buys nothing without parallelism until the input is
+        # large enough for cache-sized chunks to pay for orchestration
+        assert api_mod._pick_engine(
+            SHARDED_AUTO_MIN_N, "block", None, 1) == "fast"
+        assert api_mod._pick_engine(
+            SHARDED_AUTO_MIN_N_SINGLE, "block", None, 1) == "sharded"
+        # a process-executor backend only exists under sharded, so it
+        # forces the sharded engine at any size
+        pp = get_backend("procpool")
+        assert api_mod._pick_engine(512, "block", None, 1, pp) == "sharded"
+        # thread-executor backends do not perturb the size heuristic
+        np_bk = get_backend("numpy")
+        assert api_mod._pick_engine(512, "block", None, 1, np_bk) == "fast"
+        # non-stable methods always go fast, whatever the backend
+        assert api_mod._pick_engine(
+            SHARDED_AUTO_MIN_N_SINGLE, "radix_sort", None, 4, pp) == "fast"
 
     def test_result_shape_and_extra(self):
         keys = np.random.default_rng(2).integers(0, 2**32, 5000, dtype=np.uint32)

@@ -48,6 +48,131 @@ class TestArena:
         assert "Workspace(" in repr(ws)
 
 
+class TestShmArena:
+    def test_take_shm_pools_and_grows(self):
+        ws = Workspace()
+        a, name_a = ws.take_shm("buf", 100, np.uint32)
+        a[:] = 7
+        assert ws.shm_nbytes == 100 * 4
+        b, name_b = ws.take_shm("buf", 64, np.uint32)
+        assert name_b == name_a  # hit: same segment, shorter view
+        assert np.all(b == 7)
+        c, name_c = ws.take_shm("buf", 500, np.uint32)
+        assert name_c != name_a  # grow: old segment replaced + unlinked
+        assert ws.shm_nbytes == 500 * 4
+        del a, b, c
+        ws.release_shm()
+        assert ws.shm_nbytes == 0
+
+    def test_segments_attachable_by_name(self):
+        from multiprocessing import shared_memory
+        ws = Workspace()
+        arr, name = ws.take_shm("buf", 32, np.int64)
+        arr[:] = np.arange(32)
+        seg = shared_memory.SharedMemory(name=name)
+        try:
+            view = np.ndarray(32, dtype=np.int64, buffer=seg.buf)
+            assert np.array_equal(view, np.arange(32))
+        finally:
+            del view
+            seg.close()
+        del arr
+        ws.clear()
+
+    def test_shm_slots_keyed_by_dtype(self):
+        ws = Workspace()
+        _a, name_a = ws.take_shm("buf", 16, np.uint32)
+        _b, name_b = ws.take_shm("buf", 16, np.uint64)
+        assert name_a != name_b
+        del _a, _b
+        ws.clear()
+
+    def test_clear_releases_child_segments(self):
+        ws = Workspace()
+        child = ws.subarena("w0")
+        _arr, _ = child.take_shm("buf", 64, np.uint32)
+        assert ws.shm_nbytes == 64 * 4  # rolls up through children
+        del _arr
+        ws.clear()
+        assert ws.shm_nbytes == 0
+
+
+class TestDtypeChangeRegression:
+    """A warmed arena must serve a different-dtype call correctly.
+
+    Slots are keyed by ``(name, dtype)``, so a uint32-warmed workspace
+    that then runs a uint64 (or float) call must neither alias the old
+    buffer nor corrupt results produced from it earlier.
+    """
+
+    def test_take_does_not_alias_across_dtypes(self):
+        ws = Workspace()
+        small = ws.take("x", 64, np.uint32)
+        small[:] = 0xDEADBEEF
+        wide = ws.take("x", 64, np.uint64)
+        wide[:] = 0
+        assert np.all(small == 0xDEADBEEF)  # distinct storage
+
+    @pytest.mark.parametrize("engine", ["fast", "sharded"])
+    def test_values_dtype_change_after_warm(self, engine):
+        rng = np.random.default_rng(9)
+        keys = rng.integers(0, 2**32, 6000, dtype=np.uint32)
+        spec = RangeBuckets(16)
+        ws = Workspace()
+        kw = {"shards": 3} if engine == "sharded" else {}
+        # warm every slot with uint32 values
+        v32 = rng.integers(0, 2**32, 6000, dtype=np.uint32)
+        multisplit(keys, spec, values=v32, method="block", engine=engine,
+                   workspace=ws, **kw)
+        # same arena, 64-bit and float payloads — results must match a
+        # workspace-free run bit for bit
+        for dtype in (np.uint64, np.float64):
+            vals = rng.integers(0, 2**32, 6000).astype(dtype)
+            pooled = multisplit(keys, spec, values=vals, method="block",
+                                engine=engine, workspace=ws, **kw)
+            plain = multisplit(keys, spec, values=vals, method="block",
+                               engine=engine, **kw)
+            assert pooled.values.dtype == dtype
+            assert np.array_equal(pooled.keys, plain.keys)
+            assert np.array_equal(pooled.values, plain.values)
+            assert np.array_equal(pooled.bucket_starts, plain.bucket_starts)
+
+    def test_ids_width_change_after_warm(self):
+        # bucket-count growth flips the narrowed id dtype
+        # (uint8 -> uint16); the warmed sort/scatter slots must not leak
+        # stale bytes into the wider call
+        rng = np.random.default_rng(10)
+        keys = rng.integers(0, 2**32, 5000, dtype=np.uint32)
+        ws = Workspace()
+        multisplit(keys, RangeBuckets(8), method="block", engine="fast",
+                   workspace=ws)
+        pooled = multisplit(keys, RangeBuckets(400), method="reduced_bit",
+                            engine="fast", workspace=ws)
+        plain = multisplit(keys, RangeBuckets(400), method="reduced_bit",
+                           engine="fast")
+        assert np.array_equal(pooled.keys, plain.keys)
+        assert np.array_equal(pooled.bucket_starts, plain.bucket_starts)
+
+    def test_procpool_shm_dtype_change_after_warm(self):
+        rng = np.random.default_rng(11)
+        keys = rng.integers(0, 2**32, 8000, dtype=np.uint32)
+        spec = RangeBuckets(8)
+        ws = Workspace()
+        v32 = rng.integers(0, 2**32, 8000, dtype=np.uint32)
+        multisplit(keys, spec, values=v32, method="block", engine="sharded",
+                   backend="procpool", max_workers=2, workspace=ws)
+        v64 = rng.integers(0, 2**32, 8000).astype(np.uint64)
+        pooled = multisplit(keys, spec, values=v64, method="block",
+                            engine="sharded", backend="procpool",
+                            max_workers=2, workspace=ws)
+        plain = multisplit(keys, spec, values=v64, method="block",
+                           engine="fast")
+        assert np.array_equal(pooled.keys, plain.keys)
+        assert np.array_equal(pooled.values, plain.values)
+        ws.clear()
+        assert ws.shm_nbytes == 0
+
+
 class TestFastEngineReuse:
     def test_results_reuse_pooled_buffers(self):
         rng = np.random.default_rng(0)
