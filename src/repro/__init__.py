@@ -34,8 +34,9 @@ from .multisplit import (
 )
 from .simt import Device, DeviceSpec, K40C, GTX750TI
 from .engine import Workspace
+from .sort import fast_radix_sort, semisort, SemisortResult
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Method", "multisplit", "multisplit_kv", "multisplit_batch",
@@ -43,5 +44,6 @@ __all__ = [
     "BucketSpec", "RangeBuckets", "IdentityBuckets", "DeltaBuckets",
     "PrimeCompositeBuckets", "CustomBuckets", "check_multisplit",
     "Device", "DeviceSpec", "K40C", "GTX750TI", "Workspace",
+    "fast_radix_sort", "semisort", "SemisortResult",
     "__version__",
 ]

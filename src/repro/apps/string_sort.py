@@ -10,9 +10,14 @@ exactly for that "singleton compaction and elimination" step; the
 payoff is that later (more expensive, longer-prefix) rounds touch only
 the shrinking tied set.
 
-Everything is charged to the emulated device: the per-round pair sort
-via :func:`repro.sort.radix.radix_sort`, the singleton/tied compaction
-via a 2-bucket multisplit.
+With ``engine="emulate"`` (default) everything is charged to the
+emulated device: the per-round pair sort via
+:func:`repro.sort.radix.radix_sort`, the singleton/tied compaction via
+a 2-bucket multisplit. A result-only engine (``"fast"``/``"sharded"``/
+``"auto"``) runs the identical rounds through
+:func:`repro.sort.fast_radix_sort` instead — same order, same stats,
+no device accounting (the audit-only compaction multisplit is skipped;
+its result was always discarded).
 """
 
 from __future__ import annotations
@@ -38,17 +43,37 @@ def _chunks(strings: list[bytes], ids: np.ndarray, offset: int) -> np.ndarray:
     return out
 
 
-def string_sort(strings: list[bytes], *, device: Device | None = None):
+def string_sort(strings: list[bytes], *, device: Device | None = None,
+                engine: str = "emulate", backend=None,
+                max_workers: int | None = None):
     """Sort byte strings lexicographically; returns ``(order, stats)``.
 
     ``order`` permutes indices so ``[strings[i] for i in order]`` is
     sorted; equal strings keep input order (stable). ``stats`` records
-    rounds and per-round singleton eliminations.
+    rounds and per-round singleton eliminations — identical for every
+    engine.
     """
     if not isinstance(strings, list) or any(not isinstance(s, (bytes, bytearray))
                                             for s in strings):
         raise TypeError("string_sort expects a list of bytes objects")
-    dev = device or Device(K40C)
+    emulate = engine == "emulate"
+    if not emulate and device is not None:
+        raise ValueError(
+            "device= is the emulated pipeline's knob; with a result-only "
+            f"engine ({engine!r}) there is no device to account against")
+    dev = device or Device(K40C) if emulate else None
+
+    def pair_sort(combined, slots, seg_bits):
+        # stable sort by the (tie-group, chunk) packed key — audited on
+        # the emulated device, engine-run otherwise (same permutation)
+        if emulate:
+            return radix_sort(dev, combined, slots, bits=32 + seg_bits,
+                              key_bytes=8, value_bytes=4, stage="sort")
+        from repro.sort.fast_radix import fast_radix_sort
+        return fast_radix_sort(combined, slots, bits=32 + seg_bits,
+                               engine=engine, backend=backend,
+                               max_workers=max_workers)
+
     n = len(strings)
     stats = {"rounds": 0, "eliminated": []}
     if n == 0:
@@ -66,10 +91,9 @@ def string_sort(strings: list[bytes], *, device: Device | None = None):
         seg_bits = max(1, int(seg[act].max()).bit_length())
         combined = (seg[act].astype(np.uint64) << np.uint64(32)) | chunk
 
-        # 1. sort survivors by (tie-group, chunk); stable, audited
-        sorted_keys, sorted_slots = radix_sort(
-            dev, combined, order[act].astype(np.uint32),
-            bits=32 + seg_bits, key_bytes=8, value_bytes=4, stage="sort")
+        # 1. sort survivors by (tie-group, chunk); stable
+        sorted_keys, sorted_slots = pair_sort(
+            combined, order[act].astype(np.uint32), seg_bits)
         # tie-groups occupy contiguous positions in group order, so the
         # sorted survivors drop back into the same active positions
         order[act] = sorted_slots.astype(np.int64)
@@ -84,12 +108,15 @@ def string_sort(strings: list[bytes], *, device: Device | None = None):
         tied = same_prev.copy()
         tied[:-1] |= same_prev[1:]
 
-        # 3. singleton compaction: the paper's 2-bucket multisplit
-        tied_flag = tied.astype(np.uint32)
-        spec = CustomBuckets(lambda k: tied_flag[k.astype(np.int64)], 2,
-                             instruction_cost=2)
-        multisplit(np.arange(act.size, dtype=np.uint32), spec,
-                   method="warp", device=dev)
+        # 3. singleton compaction: the paper's 2-bucket multisplit.
+        # Audit-only — the permutation is discarded — so the fast paths
+        # skip it; the eliminations themselves come from the tie scan.
+        if emulate:
+            tied_flag = tied.astype(np.uint32)
+            spec = CustomBuckets(lambda k: tied_flag[k.astype(np.int64)], 2,
+                                 instruction_cost=2)
+            multisplit(np.arange(act.size, dtype=np.uint32), spec,
+                       method="warp", device=dev)
         stats["eliminated"].append(int((~tied).sum()))
 
         # fresh contiguous tie-group ids for the next round
@@ -107,8 +134,7 @@ def string_sort(strings: list[bytes], *, device: Device | None = None):
         lengths = np.array([len(strings[i]) for i in order[act]], dtype=np.uint64)
         seg_bits = max(1, int(seg[act].max()).bit_length())
         combined = (seg[act].astype(np.uint64) << np.uint64(32)) | lengths
-        _, sorted_slots = radix_sort(
-            dev, combined, order[act].astype(np.uint32),
-            bits=32 + seg_bits, key_bytes=8, value_bytes=4, stage="sort")
+        _, sorted_slots = pair_sort(
+            combined, order[act].astype(np.uint32), seg_bits)
         order[act] = sorted_slots.astype(np.int64)
     return order, stats

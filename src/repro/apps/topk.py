@@ -5,6 +5,13 @@ three bins around two pivots": keys above the upper pivot certainly
 belong to the top-k, keys below the lower pivot certainly do not, and
 only the (small, with high probability) middle bin recurses. The
 pivots come from order statistics of a uniform sample.
+
+``engine="emulate"`` (default) charges every pass to the emulated
+device; a result-only engine (``"fast"``/``"sharded"``/``"auto"``)
+runs the identical recursion with the pivot multisplit on the selected
+engine and the base-case sorts on
+:func:`repro.sort.fast_radix_sort`. The sampling rng is consumed
+identically, so results and ``stats`` match bit for bit.
 """
 
 from __future__ import annotations
@@ -23,7 +30,8 @@ _SMALL = 256
 
 
 def top_k(keys: np.ndarray, k: int, *, device: Device | None = None,
-          seed: int = 0):
+          seed: int = 0, engine: str = "emulate", backend=None,
+          max_workers: int | None = None):
     """Exact top-``k`` keys in descending order; returns ``(topk, stats)``.
 
     ``stats`` counts the recursive multisplit passes and the largest
@@ -35,20 +43,40 @@ def top_k(keys: np.ndarray, k: int, *, device: Device | None = None,
         raise ValueError(f"keys must be 1-D, got shape {keys.shape}")
     if k < 0:
         raise ValueError(f"k must be >= 0, got {k}")
-    dev = device or Device(K40C)
+    emulate = engine == "emulate"
+    if not emulate and device is not None:
+        raise ValueError(
+            "device= is the emulated pipeline's knob; with a result-only "
+            f"engine ({engine!r}) there is no device to account against")
+    if emulate:
+        split_kw: dict = {"device": device or Device(K40C)}
+    else:
+        split_kw = {"engine": engine, "backend": backend,
+                    "max_workers": max_workers}
     rng = np.random.default_rng(seed)
     stats = {"passes": 0, "max_middle": 0}
-    out = _select(keys, min(k, keys.size), dev, rng, stats)
+    out = _select(keys, min(k, keys.size), split_kw, rng, stats)
     return out, stats
 
 
-def _select(keys: np.ndarray, k: int, dev: Device, rng, stats) -> np.ndarray:
+def _sort_desc(keys: np.ndarray, split_kw: dict) -> np.ndarray:
+    """Descending total sort for the base cases."""
+    if "device" in split_kw:
+        return np.sort(keys)[::-1].copy()
+    from repro.sort.fast_radix import fast_radix_sort
+    sk, _ = fast_radix_sort(keys, engine=split_kw["engine"],
+                            backend=split_kw.get("backend"),
+                            max_workers=split_kw.get("max_workers"))
+    return sk[::-1].copy()
+
+
+def _select(keys: np.ndarray, k: int, split_kw: dict, rng, stats) -> np.ndarray:
     n = keys.size
     if k <= 0:
         return np.zeros(0, dtype=keys.dtype)
     if k >= n or n <= _SMALL:
         # small residuals sort directly (the real kernel's base case)
-        return np.sort(keys)[::-1][:k].copy()
+        return _sort_desc(keys, split_kw)[:k]
     stats["passes"] += 1
     sample = np.sort(rng.choice(keys, size=min(_SAMPLE, n), replace=False))
     frac = 1.0 - k / n
@@ -57,19 +85,20 @@ def _select(keys: np.ndarray, k: int, dev: Device, rng, stats) -> np.ndarray:
 
     spec = CustomBuckets(
         lambda x: np.where(x > hi, 0, np.where(x >= lo, 1, 2)).astype(np.uint32),
-        3, instruction_cost=4)
-    res = multisplit(keys, spec, method="warp", device=dev)
+        3, instruction_cost=4, elementwise=True)
+    res = multisplit(keys, spec, method="warp", **split_kw)
     sure = res.bucket(0)
     middle = res.bucket(1)
     stats["max_middle"] = max(stats["max_middle"], int(middle.size))
     if middle.size == n:
         # degenerate pivots (duplicate-heavy input): no progress possible
-        return np.sort(keys)[::-1][:k].copy()
+        return _sort_desc(keys, split_kw)[:k]
     if sure.size > k:  # pivots too low: the answer lies inside the sure set
-        return _select(sure, k, dev, rng, stats)
+        return _select(sure, k, split_kw, rng, stats)
     need = k - sure.size
     if need > middle.size:  # pivots too high: pull from the rest as well
-        rest = _select(np.concatenate([middle, res.bucket(2)]), need, dev, rng, stats)
+        rest = _select(np.concatenate([middle, res.bucket(2)]), need, split_kw,
+                       rng, stats)
     else:
-        rest = _select(middle, need, dev, rng, stats)
-    return np.sort(np.concatenate([sure, rest]))[::-1]
+        rest = _select(middle, need, split_kw, rng, stats)
+    return _sort_desc(np.concatenate([sure, rest]), split_kw)

@@ -38,15 +38,21 @@ __all__ = ["Workspace"]
 def _release_segment(seg) -> None:
     """Close + unlink one shm segment, tolerating outstanding views.
 
-    ``mmap`` refuses to close while numpy views export its buffer; in
-    that case the memory is reclaimed once the views are collected (the
-    name is unlinked immediately either way, so nothing leaks past the
-    last reference).
+    Views handed out by :meth:`Workspace.take_shm` register a buffer
+    export on the segment's memoryview, so ``close()`` raises
+    ``BufferError`` while any is alive. In that case we drop our
+    handles instead of unmapping: the views' exports keep the pages
+    mapped, and the mapping is torn down when the last view is
+    collected. The name is unlinked immediately either way, so nothing
+    leaks past the last reference.
     """
     try:
         seg.close()
     except BufferError:
-        pass
+        # live views own the mapping now; neuter the segment object so
+        # its __del__ doesn't retry (and noisily fail) at gc time
+        seg._buf = None
+        seg._mmap = None
     try:
         seg.unlink()
     except FileNotFoundError:  # pragma: no cover - already unlinked
@@ -159,7 +165,11 @@ class Workspace:
             seg, _cap = entry
             self.hits += 1
             get_registry().inc("workspace.hits", 1, slot=slot)
-        arr = np.ndarray(max(size, 1), dtype=dtype, buffer=seg.buf)[:size]
+        # frombuffer (unlike ndarray(buffer=...)) registers a buffer
+        # export on seg.buf, so releasing the segment while this view is
+        # alive defers the unmap instead of pulling pages out from under
+        # it (see _release_segment)
+        arr = np.frombuffer(seg.buf, dtype=dtype, count=max(size, 1))[:size]
         return arr, seg.name
 
     def release_shm(self) -> None:

@@ -1,8 +1,23 @@
-"""Sorting substrate: the radix-sort baseline the paper compares against."""
+"""Sorting substrate: the paper's radix-sort baseline and the
+multisplit-derived sort family built on the result-only engines.
+
+* :func:`radix_sort` / :func:`msb_radix_sort` — the emulated SIMT
+  baselines (cost-modelled, audited against the paper's tables).
+* :func:`fast_radix_sort` — the reduced-bit LSB radix sort that loops
+  fast/sharded multisplit as its pass kernel (Section 3.4, for real).
+* :func:`semisort` — group-equal-keys via hashed reduced-bit passes
+  with an adaptive heavy-duplicate path (PAPERS.md: arXiv 2304.10078).
+* :func:`stable_sort_pairs` — the numpy oracle every family member is
+  checked against.
+"""
 
 from .radix import radix_sort, RADIX_TILE, DEFAULT_DIGIT_BITS
 from .msb_radix import msb_radix_sort
 from .reference import stable_sort_pairs
+from .fast_radix import fast_radix_sort, DigitBuckets, DEFAULT_SORT_DIGIT_BITS
+from .semisort import semisort, SemisortResult, SEMISORT_TINY_N
 
 __all__ = ["radix_sort", "msb_radix_sort", "RADIX_TILE", "DEFAULT_DIGIT_BITS",
-           "stable_sort_pairs"]
+           "stable_sort_pairs",
+           "fast_radix_sort", "DigitBuckets", "DEFAULT_SORT_DIGIT_BITS",
+           "semisort", "SemisortResult", "SEMISORT_TINY_N"]

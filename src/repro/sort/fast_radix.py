@@ -1,0 +1,258 @@
+"""Reduced-bit LSB radix sort on the result-only multisplit engines.
+
+The paper's headline application (Section 3.4) is a radix sort built by
+*iterating multisplit*: each pass is a stable multisplit into
+``2^digit_bits`` identity buckets of the current digit, and when only
+``bits = ceil(log2 m)`` key bits participate the whole sort collapses
+to ``ceil(bits / digit_bits)`` passes — one pass for any bucket count
+the multisplit evaluation uses. :func:`repro.sort.radix.radix_sort`
+models exactly that structure on the emulated SIMT device; this module
+*runs* it, looping :func:`~repro.engine.fast_multisplit` /
+:func:`~repro.engine.sharded_multisplit` as the pass kernel so three
+engine generations of split speed (fused kernels, the sharded
+{local, global, local} decomposition, numba/procpool backends) become
+end-to-end sort speed.
+
+Structure of one call:
+
+1. **encode** — keys are mapped to an unsigned, order-preserving work
+   array (signed dtypes get their sign bit flipped; sub-32-bit dtypes
+   are widened), so every pass is a plain digit extraction;
+2. **passes** — ``ceil(bits / digit_bits)`` stable multisplits by
+   :class:`DigitBuckets`, ping-ponging between two key/value buffer
+   pairs pooled as child arenas of one :class:`~repro.engine.Workspace`
+   (pass ``p`` reads the buffers pass ``p - 1`` wrote, so the engines
+   never scatter in place);
+3. **decode** — the sorted work array is mapped back to the input
+   dtype.
+
+``bits=None`` (default) infers the participating bit count from the
+maximum encoded key — the reduced-bit trick applied automatically: keys
+known to be small sort in a single pass. Because every pass is a
+*stable* multisplit, the result is bit-identical to
+:func:`repro.sort.reference.stable_sort_pairs` on the participating
+bits (``tests/sort/test_fast_radix.py`` fuzzes this across dtypes,
+bit widths, engines, and backends).
+
+Timers and counters land in the ``sort.fast.*`` observability series
+(see ``docs/OBSERVABILITY.md``); ``docs/SORT.md`` has the full guide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multisplit.bucketing import BucketSpec
+from repro.obs import get_registry
+
+__all__ = ["fast_radix_sort", "DigitBuckets", "DEFAULT_SORT_DIGIT_BITS"]
+
+# 8-bit digits: 256 buckets per pass keeps the engines' narrowed bucket
+# ids uint8 (the fastest stable-argsort width) and matches the paper's
+# radix-sort baseline configuration
+DEFAULT_SORT_DIGIT_BITS = 8
+
+_UNSIGNED = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
+_SORT_ENGINES = ("fast", "sharded", "auto")
+
+
+class DigitBuckets(BucketSpec):
+    """Identity buckets of one radix digit: ``(key >> shift) & (2^width - 1)``.
+
+    The pass primitive of Section 3.4 — ``2^width`` buckets whose id *is*
+    the digit, evaluated elementwise so the sharded engine can label
+    shards in parallel.
+    """
+
+    elementwise = True
+
+    def __init__(self, shift: int, width: int):
+        super().__init__(1 << int(width), instruction_cost=2)
+        self.shift = int(shift)
+        self.width = int(width)
+
+    def ids(self, keys: np.ndarray) -> np.ndarray:
+        mask = keys.dtype.type((1 << self.width) - 1)
+        if self.shift:
+            keys = keys >> keys.dtype.type(self.shift)
+        return (keys & mask).astype(np.uint32, copy=False)
+
+    def __repr__(self) -> str:
+        return f"DigitBuckets(shift={self.shift}, width={self.width})"
+
+
+def _encode_keys(keys: np.ndarray) -> np.ndarray:
+    """Order-preserving unsigned (uint32/uint64) view of integer keys."""
+    dt = keys.dtype
+    signed = np.issubdtype(dt, np.signedinteger)
+    work = keys.view(_UNSIGNED[dt.itemsize]) if signed else keys
+    if signed:
+        work = work ^ work.dtype.type(1 << (dt.itemsize * 8 - 1))
+    if dt.itemsize < 4:
+        work = work.astype(np.uint32)
+    return work
+
+
+def _decode_keys(work: np.ndarray, dt: np.dtype) -> np.ndarray:
+    """Invert :func:`_encode_keys` on the sorted work array."""
+    if dt.itemsize < 4:
+        work = work.astype(_UNSIGNED[dt.itemsize])
+    if np.issubdtype(dt, np.signedinteger):
+        work = (work ^ work.dtype.type(1 << (dt.itemsize * 8 - 1))).view(dt)
+    return work
+
+
+def _split_pass(work, spec, vals, method: str, eng: str, arena, bk,
+                shards, max_workers):
+    """One stable multisplit pass through the selected result-only engine."""
+    if eng == "sharded":
+        from repro.engine import sharded_multisplit
+        return sharded_multisplit(work, spec, values=vals, method=method,
+                                  workspace=arena, shards=shards,
+                                  max_workers=max_workers, backend=bk)
+    from repro.engine import fast_multisplit
+    return fast_multisplit(work, spec, values=vals, method=method,
+                           workspace=arena, backend=bk)
+
+
+def _resolve_sort_engine(engine: str, n: int, method: str, shards,
+                         max_workers, bk) -> str:
+    """Engine/knob resolution shared by the sort family (mirrors the
+    multisplit API contract: ``auto`` picks fast-vs-sharded by size and
+    worker availability, sharded knobs are rejected elsewhere)."""
+    if engine == "emulate":
+        raise ValueError(
+            "fast_radix_sort runs the result-only engines; use "
+            "repro.sort.radix_sort for the emulated (cost-modelled) sort")
+    if engine not in _SORT_ENGINES:
+        raise ValueError(
+            f"engine must be one of {', '.join(_SORT_ENGINES)!s}, got {engine!r}")
+    if engine == "fast" and (shards is not None or max_workers is not None):
+        raise ValueError(
+            "shards/max_workers are sharded-engine knobs; pass them with "
+            f"engine='sharded' or engine='auto' (got engine={engine!r})")
+    if engine == "auto":
+        from repro.multisplit.api import _pick_engine
+        return _pick_engine(n, method, shards, max_workers, bk)
+    return engine
+
+
+def fast_radix_sort(keys: np.ndarray, values: np.ndarray | None = None, *,
+                    bits: int | None = None,
+                    digit_bits: int = DEFAULT_SORT_DIGIT_BITS,
+                    engine: str = "auto", backend=None,
+                    shards: int | None = None, max_workers: int | None = None,
+                    workspace=None):
+    """Stable LSB radix sort of ``keys`` (and ``values``), multisplit-powered.
+
+    Bit-identical to :func:`~repro.sort.reference.stable_sort_pairs`
+    over the participating bits; returns ``(sorted_keys,
+    sorted_values)`` with ``None`` values passing through.
+
+    Parameters
+    ----------
+    keys:
+        1-D array of any numpy integer dtype. Signed keys are handled
+        by an order-preserving sign-bit flip.
+    values:
+        Optional same-shape array moved alongside the keys.
+    bits:
+        Participating key bits, counted from the LSB of the (encoded)
+        key. ``None`` (default) infers ``ceil(log2(max_key + 1))`` from
+        the data — the reduced-bit trick of Section 3.4: keys bounded
+        by ``2^digit_bits`` sort in a single multisplit pass. An
+        explicit ``bits`` sorts by the low ``bits`` bits only (exactly
+        like :func:`repro.sort.radix.radix_sort`) and therefore
+        requires an unsigned dtype.
+    digit_bits:
+        Bits per pass (1-16; default 8 = 256 buckets per pass).
+    engine:
+        ``"fast"``, ``"sharded"``, or ``"auto"`` (default — the
+        multisplit API's size/worker-aware dispatch, applied per sort).
+    backend:
+        Kernel backend forwarded to every pass (``"numpy"``,
+        ``"numba"``, ``"procpool"``, ``"auto"``, or a
+        :class:`~repro.engine.backends.KernelBackend` instance). A
+        process-executor backend forces the sharded engine under
+        ``"auto"``, exactly as in :func:`repro.multisplit.multisplit`.
+    shards / max_workers:
+        Sharded-engine knobs, forwarded to every pass; rejected with
+        ``engine="fast"``. Never affect results.
+    workspace:
+        Optional :class:`~repro.engine.Workspace`. The sort carves two
+        child arenas (``sort.ping`` / ``sort.pong``) for the ping-pong
+        buffer pair, so repeated sorts reuse all scratch. The usual
+        ownership contract applies: with a pooling workspace the
+        returned arrays may be views that the next call on the same
+        workspace overwrites.
+    """
+    keys = np.ascontiguousarray(keys)
+    if keys.ndim != 1:
+        raise ValueError(f"keys must be 1-D, got shape {keys.shape}")
+    if not np.issubdtype(keys.dtype, np.integer):
+        raise TypeError(
+            f"fast_radix_sort requires integer keys, got dtype {keys.dtype}; "
+            "map floats through an order-preserving encoding first "
+            "(see repro.multisplit.keys.encode_keys)")
+    if values is not None:
+        values = np.ascontiguousarray(values)
+        if values.shape != keys.shape:
+            raise ValueError(
+                f"values shape {values.shape} must match keys shape {keys.shape}")
+    if not 1 <= digit_bits <= 16:
+        raise ValueError(f"digit_bits must be in [1, 16], got {digit_bits}")
+    width = keys.dtype.itemsize * 8
+    if bits is not None:
+        if np.issubdtype(keys.dtype, np.signedinteger):
+            raise ValueError(
+                "explicit bits= addresses raw key bits and is only defined "
+                "for unsigned dtypes; signed keys are sign-bit-encoded — "
+                "leave bits=None to sort them on their full width")
+        if not 1 <= bits <= width:
+            raise ValueError(
+                f"bits must be in [1, {width}] for {keys.dtype} keys, got {bits}")
+
+    n = keys.size
+    if n == 0:
+        return keys.copy(), (values.copy() if values is not None else None)
+
+    work = _encode_keys(keys)
+    if bits is None:
+        bits = max(1, int(work.max()).bit_length())
+    passes = -(-bits // digit_bits)
+    # reduced-bit multisplit is the thematic pass method but its
+    # key-value packing constraint limits it to 32-bit keys; "direct"
+    # carries 64-bit pairs with the identical stable permutation
+    method = "reduced_bit" if work.dtype.itemsize == 4 else "direct"
+
+    from repro.engine import Workspace, resolve_backend
+    bk = resolve_backend(backend) if backend is not None else None
+    eng = _resolve_sort_engine(engine, n, method, shards, max_workers, bk)
+
+    reg = get_registry()
+    reg.inc("sort.fast.calls", 1, kind="radix", engine=eng)
+    if reg.enabled:
+        reg.inc("sort.fast.keys", n, kind="radix")
+        reg.inc("sort.fast.passes", passes, kind="radix")
+
+    ws = workspace if workspace is not None else Workspace()
+    arenas = (ws.subarena("sort.ping"), ws.subarena("sort.pong"))
+    cur_keys, cur_vals = work, values
+    with reg.timer("sort.fast.run_ms", kind="radix", engine=eng,
+                   kv=values is not None).time():
+        for p in range(passes):
+            shift = p * digit_bits
+            spec = DigitBuckets(shift, min(digit_bits, bits - shift))
+            with reg.timer("sort.fast.pass_ms", kind="radix").time():
+                res = _split_pass(cur_keys, spec, cur_vals, method, eng,
+                                  arenas[p & 1], bk, shards, max_workers)
+            cur_keys, cur_vals = res.keys, res.values
+    if workspace is None and ws.shm_nbytes:
+        # procpool passes leave the results as views into the arena's
+        # shared-memory segments; our internal workspace dies on return
+        # and unmaps them, so materialize copies and unlink eagerly
+        cur_keys = np.array(cur_keys)
+        if cur_vals is not None:
+            cur_vals = np.array(cur_vals)
+        ws.release_shm()
+    return _decode_keys(cur_keys, keys.dtype), cur_vals

@@ -50,6 +50,17 @@ def radix_sort(device: Device, keys: np.ndarray, values: np.ndarray | None = Non
     keys = np.asarray(keys)
     if keys.ndim != 1:
         raise ValueError(f"keys must be 1-D, got shape {keys.shape}")
+    if not np.issubdtype(keys.dtype, np.integer):
+        raise TypeError(
+            f"radix_sort requires integer keys, got dtype {keys.dtype}; "
+            "the uint64 digit extraction silently truncates anything else")
+    if (np.issubdtype(keys.dtype, np.signedinteger) and keys.size
+            and keys.min() < 0):
+        raise ValueError(
+            "radix_sort orders keys by their raw low bits; negative signed "
+            "keys wrap in the uint64 widening and would sort after the "
+            "positives — use an unsigned dtype or fast_radix_sort, whose "
+            "sign-bit encoding handles signed keys")
     if values is not None and np.asarray(values).shape != keys.shape:
         raise ValueError("values must match keys in shape")
     if not 1 <= bits <= 64:

@@ -118,3 +118,37 @@ class TestCostModel:
         assert any("radix_upsweep_p0" in x for x in names)
         assert any("radix_downsweep_p1" in x for x in names)
         assert all(r.stage == "sort" for r in dev.timeline.records)
+
+
+class TestKeyDomainValidation:
+    """Regression: bits=64 was accepted for any dtype, silently
+    mis-sorting negative signed keys and truncating floats."""
+
+    def test_uint64_bits_64_matches_oracle(self):
+        rng = np.random.default_rng(6)
+        keys = rng.integers(0, 2**64, 5000, dtype=np.uint64)
+        assert int(keys.max()) > 2**32  # high digits actually participate
+        values = np.arange(5000, dtype=np.uint32)
+        sk, sv = radix_sort(fresh(), keys, values, bits=64, key_bytes=8)
+        order = np.argsort(keys, kind="stable")
+        assert (sk == keys[order]).all() and (sv == values[order]).all()
+
+    def test_uint32_tolerates_bits_64(self):
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 2**32, 3000, dtype=np.uint32)
+        out, _ = radix_sort(fresh(), keys, bits=64)
+        assert (out == np.sort(keys)).all()
+
+    def test_nonnegative_signed_keys_still_accepted(self):
+        keys = np.array([5, 0, 3, 2], dtype=np.int64)
+        out, _ = radix_sort(fresh(), keys)
+        assert out.tolist() == [0, 2, 3, 5]
+
+    def test_rejects_negative_signed_keys(self):
+        keys = np.array([3, -1, 2], dtype=np.int32)
+        with pytest.raises(ValueError, match="negative signed"):
+            radix_sort(fresh(), keys)
+
+    def test_rejects_float_keys(self):
+        with pytest.raises(TypeError, match="integer keys"):
+            radix_sort(fresh(), np.array([1.5, 0.5]))
