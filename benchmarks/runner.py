@@ -253,6 +253,44 @@ def bench_sort_family() -> dict:
     return {"config": config, "metrics": metrics, "exact": exact}
 
 
+def bench_service() -> dict:
+    """Small version of benchmarks/bench_service.py (coalesced vs naive).
+
+    Speedup ratios are higher-is-better, which the lower-is-better
+    tolerance bands would read backwards; the record keeps the raw
+    milliseconds and pins correctness via drift/checksum/counts.
+    """
+    import bench_service
+
+    config = {
+        "requests": 32,
+        "n_per_request": 256,
+        "m": 16,
+        "rounds": 3,
+        "workers": 2,
+    }
+    report = bench_service.run(
+        requests=config["requests"],
+        n=config["n_per_request"],
+        m=config["m"],
+        rounds=config["rounds"],
+        workers=config["workers"],
+    )
+    metrics = {
+        "direct_ms": report["direct_ms"],
+        "coalesced_ms": report["coalesced_ms"],
+        "naive_ms": report["naive_ms"],
+        "drift": report["drift"],
+        "starts_checksum": report["starts_checksum"],
+        "latency_count": report["latency_count"],
+    }
+    return {
+        "config": config,
+        "metrics": metrics,
+        "exact": ["drift", "starts_checksum", "latency_count"],
+    }
+
+
 BENCHES = {
     "engine": bench_engine,
     "sweep": bench_sweep,
@@ -261,6 +299,7 @@ BENCHES = {
     "sharded": bench_sharded,
     "backends": bench_backends,
     "sort_family": bench_sort_family,
+    "service": bench_service,
 }
 
 

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""CI smoke/load harness for ``python -m repro serve``.
+
+Boots the TCP service as a subprocess on an ephemeral port, drives 64
+concurrent clients through a mixed multisplit/sort workload over the
+line-JSON protocol, and asserts the service-level acceptance invariants:
+
+* every multisplit response is **bit-identical** to a direct
+  ``multisplit()`` call on the same input;
+* every sort response matches ``numpy``'s stable sort;
+* **coalescing happened**: the ``/metrics`` snapshot reports
+  ``service.batch_size_max > 1`` and ``service.coalesced_requests > 0``
+  (64 concurrent requests must not become 64 batches);
+* the ``/metrics`` snapshot scrapes cleanly and carries p50/p99 latency
+  histograms for the multisplit route;
+* SIGINT triggers a graceful drain and exit code 0.
+
+Run:  PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402  (sys.path bootstrap above)
+
+from repro.multisplit import RangeBuckets, multisplit  # noqa: E402
+from repro.service import connect  # noqa: E402
+
+CLIENTS = 64
+N = 256
+M = 16
+
+
+def boot_server() -> tuple[subprocess.Popen, str, int]:
+    """Start ``python -m repro serve --port 0``; parse the ready line."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        cwd=REPO_ROOT, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")})
+    deadline = time.monotonic() + 30
+    while True:
+        line = proc.stdout.readline()
+        if line.startswith("repro-serve listening on "):
+            host, port = line.rsplit(" ", 1)[-1].strip().rsplit(":", 1)
+            return proc, host, int(port)
+        if not line and proc.poll() is not None:
+            raise RuntimeError(f"server died during boot (rc={proc.returncode})")
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("server never printed its ready line")
+
+
+async def drive(host: str, port: int) -> dict:
+    rng = np.random.default_rng(2016)
+    spec_json = {"kind": "range", "num_buckets": M}
+    spec = RangeBuckets(M)
+
+    inputs = [rng.integers(0, 2**32, N, dtype=np.uint32)
+              for _ in range(CLIENTS)]
+    clients = await asyncio.gather(
+        *[connect(host, port) for _ in range(CLIENTS)])
+    try:
+
+        async def one(i: int, client) -> None:
+            keys = inputs[i]
+            if i % 4 == 3:  # every 4th client exercises the sort route
+                resp = await client.sort(keys)
+                expected = np.sort(keys, kind="stable")
+                assert np.array_equal(np.asarray(resp["keys"], np.uint32),
+                                      expected), f"sort mismatch (client {i})"
+            else:
+                resp = await client.multisplit(keys, spec_json)
+                ref = multisplit(keys, spec, engine="fast")
+                assert np.array_equal(np.asarray(resp["keys"], np.uint32),
+                                      ref.keys), f"keys mismatch (client {i})"
+                assert np.array_equal(
+                    np.asarray(resp["bucket_starts"], np.int64),
+                    ref.bucket_starts), f"starts mismatch (client {i})"
+
+        # two waves so coalescing windows see real concurrency twice
+        for _ in range(2):
+            await asyncio.gather(*[one(i, c) for i, c in enumerate(clients)])
+
+        snapshot = await clients[0].metrics()
+    finally:
+        await asyncio.gather(*[c.close() for c in clients])
+    return snapshot
+
+
+def check_metrics(snapshot: dict) -> dict:
+    assert snapshot.get("ok"), snapshot
+    assert snapshot["service"]["accepting"] is True, snapshot["service"]
+    series = {}
+    for rec in snapshot["series"]:
+        label = "".join(f"{{{k}={v}}}" for k, v in
+                        sorted(rec.get("labels", {}).items()))
+        series[rec["name"] + label] = rec
+
+    batch_max = series.get("service.batch_size_max", {}).get("value", 0)
+    coalesced = series.get("service.coalesced_requests", {}).get("value", 0)
+    assert batch_max > 1, f"no coalescing: batch_size_max={batch_max}"
+    assert coalesced > 0, f"no coalescing: coalesced_requests={coalesced}"
+
+    hist = series.get("service.latency_ms{route=multisplit}", {})
+    assert hist.get("count", 0) > 0, f"no latency histogram: {hist}"
+    assert "p50_ms" in hist and "p99_ms" in hist, f"missing quantiles: {hist}"
+    return {"batch_size_max": batch_max, "coalesced_requests": coalesced,
+            "p50_ms": hist["p50_ms"], "p99_ms": hist["p99_ms"]}
+
+
+def main() -> int:
+    proc, host, port = boot_server()
+    try:
+        summary = asyncio.run(drive(host, port))
+        stats = check_metrics(summary)
+        print(f"[smoke] {CLIENTS} clients x2 waves: bit-identical OK; "
+              f"batch_size_max={stats['batch_size_max']}, "
+              f"coalesced_requests={stats['coalesced_requests']}, "
+              f"p50={stats['p50_ms']:.3f} ms, p99={stats['p99_ms']:.3f} ms")
+        proc.send_signal(signal.SIGINT)
+        out, _ = proc.communicate(timeout=30)
+        if "repro-serve stopped" not in out:
+            print(out)
+            raise RuntimeError("no graceful-shutdown line in server output")
+        if proc.returncode != 0:
+            print(out)
+            raise RuntimeError(f"server exited {proc.returncode}")
+        print("[smoke] graceful drain OK (exit 0)")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

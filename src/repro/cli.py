@@ -72,6 +72,27 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("sol", help="speed-of-light bounds")
 
+    serve = sub.add_parser(
+        "serve", help="multisplit-as-a-service TCP endpoint",
+        description="Run the line-JSON service (see docs/SERVICE.md) "
+                    "until SIGINT/SIGTERM; drains gracefully on shutdown.")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8373,
+                       help="TCP port; 0 picks an ephemeral port "
+                            "(printed on the ready line)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="coalescing window flushes at this many requests")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="coalescing window deadline in milliseconds")
+    serve.add_argument("--max-queue", type=int, default=1024,
+                       help="admitted-but-incomplete request cap (429 beyond)")
+    serve.add_argument("--request-timeout-ms", type=float, default=30_000.0,
+                       help="per-request deadline; 0 disables")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="executor threads (default: cpu-scaled)")
+    serve.add_argument("--engine", default="fast",
+                       choices=["fast", "sharded", "auto"])
+
     bench = sub.add_parser(
         "bench", help="normalized bench runner / regression gate",
         description="Forwards to benchmarks/runner.py; see "
@@ -177,6 +198,22 @@ def _cmd_bench(runner_args: list[str]) -> int:
     return module.main(runner_args)
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host, port=args.port, max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms, max_queue=args.max_queue,
+        request_timeout_ms=args.request_timeout_ms, workers=args.workers,
+        engine=args.engine)
+    try:
+        return asyncio.run(serve(config))
+    except KeyboardInterrupt:  # pragma: no cover — signal-handler fallback
+        return 0
+
+
 def _cmd_sol(_args) -> int:
     rows = []
     for spec in (K40C, GTX750TI):
@@ -197,7 +234,7 @@ def main(argv=None) -> int:
         return _cmd_bench(argv[1:])
     args = _build_parser().parse_args(argv)
     return {"run": _cmd_run, "sweep": _cmd_sweep, "sssp": _cmd_sssp,
-            "sol": _cmd_sol}[args.command](args)
+            "sol": _cmd_sol, "serve": _cmd_serve}[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

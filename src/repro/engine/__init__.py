@@ -13,7 +13,7 @@ scratch (:class:`Workspace`), and batched dispatch
 
 from .fused import fast_multisplit, FAST_METHODS, STABLE_METHODS
 from .workspace import Workspace
-from .batch import multisplit_batch
+from .batch import multisplit_batch, coalesced_multisplit_batch
 from .sharded import (sharded_multisplit, SHARDED_AUTO_MIN_N,
                       SHARDED_AUTO_MIN_N_SINGLE, DEFAULT_SHARD_KEYS)
 from .parity import EngineParityError, check_engine_parity, parity_report
@@ -24,7 +24,7 @@ __all__ = [
     "fast_multisplit", "FAST_METHODS", "STABLE_METHODS",
     "sharded_multisplit", "SHARDED_AUTO_MIN_N", "SHARDED_AUTO_MIN_N_SINGLE",
     "DEFAULT_SHARD_KEYS",
-    "Workspace", "multisplit_batch",
+    "Workspace", "multisplit_batch", "coalesced_multisplit_batch",
     "EngineParityError", "check_engine_parity", "parity_report",
     "KernelBackend", "BackendFallbackWarning", "BACKEND_NAMES",
     "available_backends", "get_backend", "resolve_backend",

@@ -15,10 +15,12 @@ and the normalized bench records the CI regression gate compares.
 See ``docs/OBSERVABILITY.md`` for the full guide.
 """
 
+from .histogram import PERCENTILES
 from .registry import (
     Counter,
     Gauge,
     StageTimer,
+    LatencyHistogram,
     MetricsRegistry,
     NullRegistry,
     get_registry,
@@ -54,6 +56,8 @@ __all__ = [
     "Counter",
     "Gauge",
     "StageTimer",
+    "LatencyHistogram",
+    "PERCENTILES",
     "MetricsRegistry",
     "NullRegistry",
     "get_registry",

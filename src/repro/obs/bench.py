@@ -190,18 +190,27 @@ def compare_dirs(
 ) -> CompareReport:
     """Diff every ``BENCH_<name>.json`` in ``current_dir`` against baselines.
 
-    ``names`` restricts the comparison; otherwise every baseline record
-    is expected to have a current counterpart.
+    ``names`` restricts the comparison; otherwise the compared set is
+    the *union* of baseline and current record names, so a current
+    record with no committed baseline fails the run (missing baseline)
+    instead of silently passing — and vice versa for a baseline whose
+    bench stopped producing output.
     """
     current_dir = pathlib.Path(current_dir)
     baseline_dir = pathlib.Path(baseline_dir)
     report = CompareReport()
     if names is None:
-        paths = sorted(baseline_dir.glob("BENCH_*.json"))
-        names = [p.stem.removeprefix("BENCH_") for p in paths]
+        names = sorted(
+            {
+                p.stem.removeprefix("BENCH_")
+                for d in (baseline_dir, current_dir)
+                for p in d.glob("BENCH_*.json")
+            },
+        )
         if not names:
             report.schema_errors.append(
-                f"no BENCH_*.json baselines found in {baseline_dir}",
+                f"no BENCH_*.json records found in {baseline_dir} "
+                f"or {current_dir}",
             )
             return report
     for name in names:

@@ -1,0 +1,129 @@
+"""Latency histograms: percentile-capable timing series for the registry.
+
+The :class:`~repro.obs.registry.StageTimer` answers "how much time did
+this stage take in total"; a service needs the *distribution* — p50 says
+what a typical client saw, p99 says what the unlucky tail saw, and the
+gap between them is the first thing an operator looks at under load.
+
+:class:`LatencyHistogram` keeps a fixed geometric bucket layout
+(``_GROWTH``-spaced bounds from 1 microsecond to beyond a minute), so
+
+* observation is O(1) and allocation-free (one bisect + an int bump);
+* memory per series is constant (~100 ints) regardless of traffic;
+* percentiles are estimated by log-linear interpolation inside the
+  covering bucket, giving a bounded relative error of about
+  ``_GROWTH - 1`` (~19%) — plenty for operability, and deterministic
+  for tests.
+
+Histograms join the registry as a fourth metric kind (``"histogram"``)
+next to counters, gauges, and timers::
+
+    reg = get_registry()
+    reg.observe_hist("service.latency_ms", 3.2, route="multisplit")
+    reg.histogram("service.latency_ms", route="multisplit").percentile_ms(99)
+
+Snapshots carry ``p50_ms`` / ``p90_ms`` / ``p99_ms`` alongside
+count/total/min/max; ``as_flat`` emits ``<name>.p50_ms{labels}`` (and
+p90/p99/count/total) so bench records can embed them directly.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from contextlib import contextmanager
+from time import perf_counter
+
+__all__ = ["LatencyHistogram", "PERCENTILES"]
+
+#: The percentiles every snapshot/export reports.
+PERCENTILES = (50, 90, 99)
+
+# Geometric bucket layout: bounds[i] = _LOW_MS * _GROWTH**i. With
+# _GROWTH = 2**0.25 each bucket is ~19% wide; 104 buckets span 1 us to
+# ~65 s, and anything beyond the last bound lands in an overflow bucket
+# whose percentile estimate is clamped to the observed max.
+_LOW_MS = 1e-3
+_GROWTH = 2.0 ** 0.25
+_NUM_BOUNDS = 104
+_BOUNDS_MS = tuple(_LOW_MS * _GROWTH**i for i in range(_NUM_BOUNDS))
+
+
+class LatencyHistogram:
+    """Fixed-layout latency histogram with percentile estimation."""
+
+    __slots__ = ("counts", "count", "total_ms", "min_ms", "max_ms", "_lock")
+    kind = "histogram"
+
+    def __init__(self, lock):
+        self.counts = [0] * (_NUM_BOUNDS + 1)  # +1: overflow bucket
+        self.count = 0
+        self.total_ms = 0.0
+        self.min_ms = math.inf
+        self.max_ms = 0.0
+        self._lock = lock
+
+    def observe_ms(self, ms: float) -> None:
+        """Record one observation (negative values clamp to zero)."""
+        ms = float(ms)
+        if ms < 0.0:
+            ms = 0.0
+        idx = bisect_right(_BOUNDS_MS, ms)
+        with self._lock:
+            self.counts[idx] += 1
+            self.count += 1
+            self.total_ms += ms
+            if ms < self.min_ms:
+                self.min_ms = ms
+            if ms > self.max_ms:
+                self.max_ms = ms
+
+    @contextmanager
+    def time(self):
+        """Time a block and record its duration."""
+        t0 = perf_counter()
+        try:
+            yield self
+        finally:
+            self.observe_ms((perf_counter() - t0) * 1e3)
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        """Estimated ``q``-th percentile (q in [0, 100]); 0.0 when empty.
+
+        The estimate interpolates log-linearly inside the covering
+        bucket and is clamped to the observed ``[min_ms, max_ms]``, so
+        single-observation histograms report that observation exactly.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            total = self.count
+            if total == 0:
+                return 0.0
+            counts = list(self.counts)
+            lo, hi = self.min_ms, self.max_ms
+        rank = q / 100.0 * total
+        seen = 0.0
+        for idx, n in enumerate(counts):
+            if n == 0:
+                continue
+            seen += n
+            if seen >= rank:
+                # bucket idx covers (_BOUNDS_MS[idx-1], _BOUNDS_MS[idx]]
+                upper = _BOUNDS_MS[idx] if idx < _NUM_BOUNDS else hi
+                lower = _BOUNDS_MS[idx - 1] if idx > 0 else 0.0
+                frac = 1.0 - (seen - rank) / n
+                if lower > 0.0 and upper > lower:
+                    est = lower * (upper / lower) ** frac
+                else:
+                    est = lower + (upper - lower) * frac
+                return min(max(est, lo), hi)
+        return hi
+
+    def quantiles(self) -> dict:
+        """``{"p50_ms": ..., "p90_ms": ..., "p99_ms": ...}``."""
+        return {f"p{q}_ms": self.percentile_ms(q) for q in PERCENTILES}

@@ -37,10 +37,13 @@ import threading
 import time
 from contextlib import contextmanager
 
+from .histogram import LatencyHistogram
+
 __all__ = [
     "Counter",
     "Gauge",
     "StageTimer",
+    "LatencyHistogram",
     "MetricsRegistry",
     "NullRegistry",
     "get_registry",
@@ -170,6 +173,9 @@ class MetricsRegistry:
     def timer(self, name: str, **labels) -> StageTimer:
         return self._get(StageTimer, name, labels)
 
+    def histogram(self, name: str, **labels) -> LatencyHistogram:
+        return self._get(LatencyHistogram, name, labels)
+
     # -- one-shot conveniences (what the hot paths call) -----------------
     def inc(self, name: str, amount=1, **labels) -> None:
         self._get(Counter, name, labels).inc(amount)
@@ -179,6 +185,9 @@ class MetricsRegistry:
 
     def observe_ms(self, name: str, ms: float, **labels) -> None:
         self._get(StageTimer, name, labels).observe_ms(ms)
+
+    def observe_hist(self, name: str, ms: float, **labels) -> None:
+        self._get(LatencyHistogram, name, labels).observe_ms(ms)
 
     # -- export ----------------------------------------------------------
     def snapshot(self) -> list[dict]:
@@ -195,6 +204,15 @@ class MetricsRegistry:
                     mean_ms=series.mean_ms,
                     min_ms=series.min_ms if series.count else 0.0,
                     max_ms=series.max_ms,
+                )
+            elif series.kind == "histogram":
+                rec.update(
+                    count=series.count,
+                    total_ms=series.total_ms,
+                    mean_ms=series.mean_ms,
+                    min_ms=series.min_ms if series.count else 0.0,
+                    max_ms=series.max_ms,
+                    **series.quantiles(),
                 )
             else:
                 rec["value"] = series.value
@@ -214,18 +232,29 @@ class MetricsRegistry:
             if series.kind == "timer":
                 flat[f"{name}.total_ms{suffix}"] = series.total_ms
                 flat[f"{name}.count{suffix}"] = series.count
+            elif series.kind == "histogram":
+                flat[f"{name}.count{suffix}"] = series.count
+                flat[f"{name}.total_ms{suffix}"] = series.total_ms
+                for pname, value in series.quantiles().items():
+                    flat[f"{name}.{pname}{suffix}"] = value
             else:
                 flat[f"{name}{suffix}"] = series.value
         return flat
 
     def value(self, name: str, default=None, **labels):
-        """Current value of one series (timers: total_ms), or ``default``."""
+        """Current value of one series, or ``default``.
+
+        Timers report ``total_ms``; histograms report their observation
+        ``count`` (percentiles come from the handle or the snapshot).
+        """
         key = (name, _label_key(labels))
         series = self._series.get(key)
         if series is None:
             return default
         if series.kind == "timer":
             return series.total_ms
+        if series.kind == "histogram":
+            return series.count
         return series.value
 
     def reset(self) -> None:
@@ -278,6 +307,7 @@ class NullRegistry(MetricsRegistry):
         self._null_gauge.value = 0
         self._null_gauge._lock = null_lock
         self._null_timer = _NullTimer(null_lock)
+        self._null_histogram = _NullHistogram(null_lock)
 
     def counter(self, name: str, **labels) -> Counter:
         return self._null_counter
@@ -288,6 +318,9 @@ class NullRegistry(MetricsRegistry):
     def timer(self, name: str, **labels) -> "StageTimer":
         return self._null_timer
 
+    def histogram(self, name: str, **labels) -> LatencyHistogram:
+        return self._null_histogram
+
     def inc(self, name: str, amount=1, **labels) -> None:
         pass
 
@@ -297,6 +330,9 @@ class NullRegistry(MetricsRegistry):
     def observe_ms(self, name: str, ms: float, **labels) -> None:
         pass
 
+    def observe_hist(self, name: str, ms: float, **labels) -> None:
+        pass
+
 
 class _NullTimer(StageTimer):
     __slots__ = ()
@@ -304,6 +340,17 @@ class _NullTimer(StageTimer):
 
     def __init__(self, lock):
         super().__init__(lock)
+
+    def observe_ms(self, ms: float) -> None:
+        pass
+
+    def time(self):
+        return self._context
+
+
+class _NullHistogram(LatencyHistogram):
+    __slots__ = ()
+    _context = _NullTimerContext()
 
     def observe_ms(self, ms: float) -> None:
         pass

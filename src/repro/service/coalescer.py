@@ -1,0 +1,149 @@
+"""Request coalescer: size/deadline-window batching with per-spec buckets.
+
+The paper's core observation is that multisplit throughput comes from
+amortizing fixed per-dispatch cost over many elements; a serving front
+end recreates that opportunity by *coalescing* — holding each small
+request for at most a deadline window and dispatching everything that
+accumulated as one :func:`~repro.engine.multisplit_batch` call.
+
+Batching policy
+---------------
+Requests are grouped by a **batch key** so only compatible work
+co-batches:
+
+* the route (multisplit requests never co-batch with anything else);
+* the method string (``multisplit_batch`` applies one method per call);
+* the bucket spec, by *parameters* for the library's elementwise specs
+  (two ``RangeBuckets(16)`` from different clients are the same work)
+  and by *identity* for custom/unknown specs — an unknown callable
+  only ever co-batches with itself, so one client's exotic bucketing
+  can never leak into another's batch.
+
+Each bucket flushes when it reaches ``max_batch`` requests (size
+trigger) or ``max_wait_ms`` after its first request arrived (deadline
+trigger), whichever comes first. Flushing hands the list of pending
+requests to the dispatch callable the owner provided; the coalescer
+itself never touches numpy or threads, which keeps it trivially
+testable on a bare event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.multisplit.bucketing import (BucketSpec, DeltaBuckets,
+                                        IdentityBuckets, RangeBuckets)
+
+__all__ = ["Coalescer", "PendingRequest", "spec_batch_key"]
+
+
+def spec_batch_key(spec: BucketSpec) -> tuple:
+    """Hashable co-batching key for a spec (parameters or identity)."""
+    cls = type(spec)
+    if cls is RangeBuckets:
+        return ("range", spec.num_buckets, spec.lo, spec.hi)
+    if cls is IdentityBuckets:
+        return ("identity", spec.num_buckets)
+    if cls is DeltaBuckets:
+        return ("delta", spec.num_buckets, spec.delta)
+    # custom/subclassed specs: identity only. Pending requests hold a
+    # reference to their spec, so an id() is unique among the specs
+    # that can be simultaneously pending.
+    return ("custom", cls.__qualname__, id(spec))
+
+
+@dataclass
+class PendingRequest:
+    """One admitted request waiting in a coalescing window."""
+
+    keys: Any
+    spec: BucketSpec
+    values: Any
+    method: str
+    future: asyncio.Future
+    admitted_at: float = 0.0
+
+
+@dataclass
+class _Bucket:
+    items: list = field(default_factory=list)
+    timer: asyncio.TimerHandle | None = None
+
+
+class Coalescer:
+    """Groups pending requests into batches by key, size, and deadline.
+
+    Parameters
+    ----------
+    loop:
+        The event loop whose clock drives deadline windows.
+    max_batch / max_wait_ms:
+        The flush triggers (see module docstring).
+    dispatch:
+        ``dispatch(key, items)`` called from the event loop whenever a
+        bucket flushes; ``items`` is the non-empty list of
+        :class:`PendingRequest` in arrival order.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, *, max_batch: int,
+                 max_wait_ms: float,
+                 dispatch: Callable[[tuple, list], None]):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._loop = loop
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self._dispatch = dispatch
+        self._buckets: dict[tuple, _Bucket] = {}
+
+    @property
+    def pending(self) -> int:
+        """Requests currently waiting in windows (not yet dispatched)."""
+        return sum(len(b.items) for b in self._buckets.values())
+
+    def add(self, key: tuple, request: PendingRequest) -> None:
+        """Enqueue one request; may flush its bucket synchronously."""
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = _Bucket()
+            self._buckets[key] = bucket
+        bucket.items.append(request)
+        if len(bucket.items) >= self.max_batch:
+            self._flush(key)
+        elif bucket.timer is None:
+            if self.max_wait_ms <= 0:
+                self._flush(key)
+            else:
+                bucket.timer = self._loop.call_later(
+                    self.max_wait_ms / 1e3, self._expire, key, bucket)
+
+    def _expire(self, key: tuple, bucket: _Bucket) -> None:
+        # deadline fired: flush only if this exact bucket is still
+        # registered (a size-triggered flush may have already replaced it)
+        if self._buckets.get(key) is bucket:
+            self._flush(key)
+
+    def _flush(self, key: tuple) -> None:
+        bucket = self._buckets.pop(key)
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+        if bucket.items:
+            self._dispatch(key, bucket.items)
+
+    def flush_all(self) -> None:
+        """Dispatch every open window immediately (shutdown drain)."""
+        for key in list(self._buckets):
+            self._flush(key)
+
+    def cancel_all(self) -> list[PendingRequest]:
+        """Drop every open window without dispatching; returns the
+        abandoned requests (shutdown without drain)."""
+        items: list[PendingRequest] = []
+        for bucket in self._buckets.values():
+            if bucket.timer is not None:
+                bucket.timer.cancel()
+            items.extend(bucket.items)
+        self._buckets.clear()
+        return items

@@ -1,0 +1,73 @@
+"""Service error taxonomy, mapped onto HTTP-style status codes.
+
+Every error the service surfaces to a client carries a numeric ``code``
+so the wire protocol (and any HTTP gateway put in front of it) can
+translate it without string matching:
+
+* 400 ``BadRequestError`` — malformed request (unparseable JSON,
+  unknown op, invalid spec/keys); the client's fault, retrying the
+  same request will fail again.
+* 429 ``ServiceOverloadedError`` — admission control rejected the
+  request because the bounded queue is full; carries
+  ``retry_after_ms``, the server's backoff hint.
+* 503 ``ServiceClosedError`` — the service is draining or stopped;
+  new work is not being accepted.
+* 504 ``RequestTimeoutError`` — the request was admitted but did not
+  complete within the configured deadline.
+* 500 ``ServiceError`` — anything else (an engine exception crossing
+  the executor boundary is wrapped in one).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "BadRequestError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
+    "RequestTimeoutError",
+]
+
+
+class ServiceError(Exception):
+    """Base class: an internal failure (HTTP-style code 500)."""
+
+    code = 500
+
+    def to_json(self) -> dict:
+        """Wire form of this error (protocol error objects embed it)."""
+        return {"code": self.code, "message": str(self) or type(self).__name__}
+
+
+class BadRequestError(ServiceError):
+    """Malformed request; retrying identically will fail again (400)."""
+
+    code = 400
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected the request — queue full (429)."""
+
+    code = 429
+
+    def __init__(self, message: str = "service overloaded", *,
+                 retry_after_ms: float = 0.0):
+        super().__init__(message)
+        self.retry_after_ms = float(retry_after_ms)
+
+    def to_json(self) -> dict:
+        out = super().to_json()
+        out["retry_after_ms"] = self.retry_after_ms
+        return out
+
+
+class ServiceClosedError(ServiceError):
+    """The service is draining or stopped (503)."""
+
+    code = 503
+
+
+class RequestTimeoutError(ServiceError):
+    """Admitted but not completed within the request deadline (504)."""
+
+    code = 504

@@ -1,0 +1,149 @@
+"""Fused composite-bucket batch: bit-identical to per-item dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Workspace, coalesced_multisplit_batch
+from repro.multisplit import (DeltaBuckets, IdentityBuckets, RangeBuckets,
+                              multisplit)
+
+
+def make_batch(count, seed=0, lo=50, hi=1500, dtype=np.uint32):
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(lo, hi, count)
+    return [rng.integers(0, 2**32, int(s), dtype=dtype) for s in sizes]
+
+
+def assert_matches_direct(results, keys_batch, specs, values_batch=None):
+    values_batch = values_batch or [None] * len(keys_batch)
+    for res, k, s, v in zip(results, keys_batch, specs, values_batch):
+        ref = multisplit(k, s, values=v, engine="fast")
+        assert np.array_equal(res.keys, ref.keys)
+        assert np.array_equal(res.bucket_starts, ref.bucket_starts)
+        assert res.method == ref.method
+        assert res.num_buckets == ref.num_buckets
+        assert res.stable
+        if v is None:
+            assert res.values is None
+        else:
+            assert np.array_equal(res.values, ref.values)
+
+
+class TestParity:
+    def test_shared_spec_matches_per_item_fast_calls(self):
+        batch = make_batch(12, seed=1)
+        spec = RangeBuckets(16)
+        results = coalesced_multisplit_batch(batch, spec)
+        assert_matches_direct(results, batch, [spec] * 12)
+        assert all(r.extra["coalesced"] == 12 for r in results)
+
+    def test_per_item_specs_with_differing_bucket_counts(self):
+        batch = make_batch(6, seed=2)
+        batch[2] = batch[2] % np.uint32(8)  # identity bucketing: keys < m
+        batch[3] = np.uint32(100) + batch[3] % np.uint32(900)  # domain [100, 1000)
+        specs = [RangeBuckets(4), RangeBuckets(64), IdentityBuckets(8),
+                 RangeBuckets(4, 100, 1000), DeltaBuckets(1e7, 16),
+                 RangeBuckets(200)]
+        results = coalesced_multisplit_batch(batch, specs)
+        assert_matches_direct(results, batch, specs)
+
+    def test_key_value_and_key_only_items_mix(self):
+        batch = make_batch(5, seed=3)
+        spec = RangeBuckets(8)
+        values = [np.arange(k.size, dtype=np.uint32) if i % 2 == 0 else None
+                  for i, k in enumerate(batch)]
+        results = coalesced_multisplit_batch(batch, spec, values_batch=values)
+        assert_matches_direct(results, batch, [spec] * 5, values)
+
+    def test_value_dtypes_may_differ_across_items(self):
+        batch = make_batch(3, seed=4)
+        spec = RangeBuckets(8)
+        values = [np.arange(batch[0].size, dtype=np.uint64),
+                  np.arange(batch[1].size, dtype=np.float64),
+                  np.arange(batch[2].size, dtype=np.uint32)]
+        results = coalesced_multisplit_batch(batch, spec, values_batch=values)
+        assert_matches_direct(results, batch, [spec] * 3, values)
+        assert results[1].values.dtype == np.float64
+
+    def test_uint64_keys(self):
+        rng = np.random.default_rng(5)
+        batch = [rng.integers(0, 2**32, 400, dtype=np.uint64)
+                 for _ in range(4)]
+        spec = RangeBuckets(16)
+        results = coalesced_multisplit_batch(batch, spec)
+        assert_matches_direct(results, batch, [spec] * 4)
+
+    def test_explicit_stable_method_honored(self):
+        batch = make_batch(4, seed=6)
+        spec = RangeBuckets(16)
+        results = coalesced_multisplit_batch(batch, spec, method="reduced_bit")
+        for res, k in zip(results, batch):
+            ref = multisplit(k, spec, method="reduced_bit", engine="fast")
+            assert np.array_equal(res.keys, ref.keys)
+            assert res.method == "reduced_bit"
+
+    def test_empty_items_and_single_item(self):
+        spec = RangeBuckets(8)
+        batch = [np.empty(0, np.uint32), np.arange(100, dtype=np.uint32),
+                 np.empty(0, np.uint32)]
+        results = coalesced_multisplit_batch(batch, spec)
+        assert results[0].keys.size == 0
+        assert results[0].bucket_starts.tolist() == [0] * 9
+        assert_matches_direct(results, batch, [spec] * 3)
+
+        [only] = coalesced_multisplit_batch([batch[1]], spec)
+        assert_matches_direct([only], [batch[1]], [spec])
+
+    def test_empty_batch_returns_empty_list(self):
+        assert coalesced_multisplit_batch([], RangeBuckets(4)) == []
+
+    def test_many_buckets_total_crosses_dtype_thresholds(self):
+        # total composite ids > 2^8 forces uint16, > 2^16 forces uint32
+        batch = make_batch(40, seed=7, lo=20, hi=120)
+        spec = RangeBuckets(2048)  # 40 * 2048 > 2^16
+        results = coalesced_multisplit_batch(batch, spec, method="reduced_bit")
+        for res, k in zip(results, batch):
+            ref = multisplit(k, spec, method="reduced_bit", engine="fast")
+            assert np.array_equal(res.keys, ref.keys)
+            assert np.array_equal(res.bucket_starts, ref.bucket_starts)
+
+
+class TestScratchAndRejection:
+    def test_workspace_scratch_reused_across_calls(self):
+        ws = Workspace(reuse_outputs=False)
+        batch = make_batch(6, seed=8)
+        spec = RangeBuckets(16)
+        first = coalesced_multisplit_batch(batch, spec, workspace=ws)
+        hits_before = ws.hits
+        second = coalesced_multisplit_batch(batch, spec, workspace=ws)
+        assert ws.hits > hits_before
+        for a, b in zip(first, second):
+            # outputs are fresh each call, never clobbered by reuse
+            assert a.keys is not b.keys
+            assert np.array_equal(a.keys, b.keys)
+
+    def test_pooled_output_workspace_rejected(self):
+        with pytest.raises(ValueError, match="reuse_outputs"):
+            coalesced_multisplit_batch(make_batch(2), RangeBuckets(4),
+                                       workspace=Workspace())
+
+    def test_non_stable_method_rejected(self):
+        with pytest.raises(ValueError, match="stable"):
+            coalesced_multisplit_batch(make_batch(2), RangeBuckets(4),
+                                       method="randomized")
+
+    def test_mixed_key_dtypes_rejected(self):
+        batch = [np.arange(10, dtype=np.uint32),
+                 np.arange(10, dtype=np.uint64)]
+        with pytest.raises(ValueError, match="dtype"):
+            coalesced_multisplit_batch(batch, RangeBuckets(4))
+
+    def test_values_batch_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="value arrays"):
+            coalesced_multisplit_batch(make_batch(3), RangeBuckets(4),
+                                       values_batch=[None])
+
+    def test_specs_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="specs"):
+            coalesced_multisplit_batch(make_batch(3),
+                                       [RangeBuckets(4), RangeBuckets(4)])

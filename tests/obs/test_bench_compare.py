@@ -114,6 +114,27 @@ class TestCompareDirs:
         report = compare_dirs(tmp_path / "cur", tmp_path / "base")
         assert report.exit_code == EXIT_SCHEMA
 
+    def test_unbaselined_current_record_fails_unnamed_compare(self, tmp_path):
+        # regression: a new bench emitting BENCH_new.json with no
+        # committed baseline must fail the default (unnamed) compare,
+        # not silently pass because names derive from baselines only
+        write(tmp_path / "base" / "BENCH_a.json", record("a"))
+        write(tmp_path / "cur" / "BENCH_a.json", record("a"))
+        write(tmp_path / "cur" / "BENCH_new.json", record("new"))
+        report = compare_dirs(tmp_path / "cur", tmp_path / "base")
+        assert report.exit_code == EXIT_SCHEMA
+        assert report.missing_baselines == ["new"]
+
+    def test_baseline_without_current_record_fails_unnamed_compare(self, tmp_path):
+        # the reverse direction: a committed baseline whose bench no
+        # longer produces output is a schema error, not a skip
+        write(tmp_path / "base" / "BENCH_a.json", record("a"))
+        write(tmp_path / "base" / "BENCH_gone.json", record("gone"))
+        write(tmp_path / "cur" / "BENCH_a.json", record("a"))
+        report = compare_dirs(tmp_path / "cur", tmp_path / "base")
+        assert report.exit_code == EXIT_SCHEMA
+        assert any("BENCH_gone.json" in e for e in report.schema_errors)
+
     def test_report_text_mentions_failures(self, tmp_path):
         write(tmp_path / "base" / "BENCH_a.json", record("a"))
         cur = record("a", metrics={"run_ms": 200.0, "counter": 1234})

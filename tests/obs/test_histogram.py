@@ -1,0 +1,108 @@
+"""Latency histograms: bucket math, percentiles, registry integration."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import LatencyHistogram, MetricsRegistry, PERCENTILES
+from repro.obs.registry import NullRegistry
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram_reports_zeros(self):
+        h = LatencyHistogram(threading.Lock())
+        assert h.count == 0
+        assert h.mean_ms == 0.0
+        assert h.percentile_ms(50) == 0.0
+        assert h.quantiles() == {f"p{q}_ms": 0.0 for q in PERCENTILES}
+
+    def test_single_observation_is_exact_at_every_percentile(self):
+        h = LatencyHistogram(threading.Lock())
+        h.observe_ms(3.25)
+        for q in (1, 50, 90, 99, 100):
+            assert h.percentile_ms(q) == pytest.approx(3.25)
+
+    def test_percentiles_within_bucket_resolution(self):
+        # geometric buckets with 2^(1/4) growth: interpolated
+        # percentiles stay within ~19% of the true value
+        rng = np.random.default_rng(42)
+        samples = rng.uniform(0.5, 120.0, 10_000)
+        h = LatencyHistogram(threading.Lock())
+        for s in samples:
+            h.observe_ms(float(s))
+        for q in PERCENTILES:
+            true = float(np.percentile(samples, q))
+            est = h.percentile_ms(q)
+            assert abs(est - true) / true < 0.19, (q, true, est)
+
+    def test_percentiles_clamped_to_observed_range(self):
+        h = LatencyHistogram(threading.Lock())
+        h.observe_ms(2.0)
+        h.observe_ms(4.0)
+        assert h.percentile_ms(0) >= 2.0
+        assert h.percentile_ms(100) <= 4.0
+
+    def test_extreme_values_land_in_edge_buckets(self):
+        h = LatencyHistogram(threading.Lock())
+        h.observe_ms(0.0)        # below the lowest bound
+        h.observe_ms(1e9)        # beyond the overflow bound
+        assert h.count == 2
+        assert h.min_ms == 0.0
+        assert h.max_ms == 1e9
+        assert 0.0 <= h.percentile_ms(50) <= 1e9
+
+    def test_mean_and_totals_track_observations(self):
+        h = LatencyHistogram(threading.Lock())
+        for ms in (1.0, 2.0, 3.0):
+            h.observe_ms(ms)
+        assert h.count == 3
+        assert h.total_ms == pytest.approx(6.0)
+        assert h.mean_ms == pytest.approx(2.0)
+
+    def test_time_context_records_one_sample(self):
+        h = LatencyHistogram(threading.Lock())
+        with h.time():
+            pass
+        assert h.count == 1
+        assert h.total_ms >= 0.0
+
+
+class TestRegistryIntegration:
+    def test_histogram_accessor_and_observe_hist(self):
+        reg = MetricsRegistry()
+        reg.observe_hist("svc.latency_ms", 5.0, route="a")
+        reg.observe_hist("svc.latency_ms", 7.0, route="a")
+        h = reg.histogram("svc.latency_ms", route="a")
+        assert h.count == 2
+        assert reg.value("svc.latency_ms", route="a") == 2  # count
+
+    def test_snapshot_carries_quantiles(self):
+        reg = MetricsRegistry()
+        for ms in (1.0, 2.0, 10.0):
+            reg.observe_hist("svc.latency_ms", ms)
+        [rec] = [r for r in reg.snapshot() if r["name"] == "svc.latency_ms"]
+        assert rec["kind"] == "histogram"
+        assert rec["count"] == 3
+        assert rec["min_ms"] == pytest.approx(1.0)
+        assert rec["max_ms"] == pytest.approx(10.0)
+        for q in PERCENTILES:
+            assert f"p{q}_ms" in rec
+
+    def test_as_flat_emits_percentile_keys(self):
+        reg = MetricsRegistry()
+        reg.observe_hist("svc.latency_ms", 3.0, route="b")
+        flat = reg.as_flat()
+        assert flat["svc.latency_ms.count{route=b}"] == 1
+        for q in PERCENTILES:
+            assert f"svc.latency_ms.p{q}_ms{{route=b}}" in flat
+
+    def test_null_registry_histogram_is_free_and_inert(self):
+        reg = NullRegistry()
+        reg.observe_hist("svc.latency_ms", 5.0)
+        h = reg.histogram("svc.latency_ms")
+        assert h.count == 0
+        with h.time():
+            pass
+        assert h.count == 0
+        assert reg.snapshot() == []

@@ -12,6 +12,7 @@ at most 2% of it.
 import time
 
 import numpy as np
+import pytest
 
 from repro.engine import Workspace
 from repro.multisplit import RangeBuckets, multisplit
@@ -51,6 +52,7 @@ def best_of(fn, repeats, inner=1):
     return best
 
 
+@pytest.mark.timing
 def test_disabled_hooks_within_two_percent_of_warm_path():
     assert not metrics_enabled()
 
