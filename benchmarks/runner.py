@@ -291,12 +291,53 @@ def bench_service() -> dict:
     }
 
 
+def bench_stream() -> dict:
+    """Small-n version of benchmarks/bench_stream.py (sharded vs stream).
+
+    Shrinks both n and the chunk budget so the out-of-core path still
+    crosses several chunk boundaries at runner scale. Speedup ratios
+    are higher-is-better, which the lower-is-better tolerance bands
+    would read backwards; the record keeps the raw milliseconds and
+    pins correctness via drift/checksum/chunk counts. The peak-arena
+    bound itself is gated at full scale by bench_stream.py and the CI
+    stream-bounded-memory job; here the exact chunk/shard counts pin
+    the chunking geometry instead.
+    """
+    import bench_stream
+
+    config = {"n": 1 << 20, "m": 32, "pairs": 3, "chunk_bytes": 1 << 20}
+    report = bench_stream.run(
+        n=config["n"],
+        m=config["m"],
+        pairs=config["pairs"],
+        chunk_bytes=config["chunk_bytes"],
+    )
+    peak_under_dataset = int(report["peak_arena_nbytes"] < report["dataset_nbytes"])
+    metrics = {
+        "sharded_warm_ms": report["sharded_warm_ms"],
+        "stream_warm_ms": report["stream_warm_ms"],
+        "memcpy_ms": report["memcpy_ms"],
+        "drift": report["drift"],
+        "chunks": report["chunks"],
+        "shards": report["shards"],
+        "starts_checksum": report["starts_checksum"],
+        "peak_under_dataset": peak_under_dataset,
+    }
+    config["method"] = report["method"]
+    return {
+        "config": config,
+        "metrics": metrics,
+        "exact": ["drift", "chunks", "shards", "starts_checksum", "peak_under_dataset"],
+    }
+
+
 BENCHES = {
     "engine": bench_engine,
     "sweep": bench_sweep,
     "workspace": bench_workspace,
     "batch": bench_batch,
     "sharded": bench_sharded,
+    "stream": bench_stream,
     "backends": bench_backends,
     "sort_family": bench_sort_family,
     "service": bench_service,

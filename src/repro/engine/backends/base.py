@@ -94,6 +94,18 @@ class KernelBackend:
         """
         raise NotImplementedError
 
+    def hist(self, ids: np.ndarray, m: int) -> np.ndarray:
+        """Histogram-only prescan: ``prescan(ids, m)[0]`` without the
+        monotonicity check.
+
+        The flag only pays for itself while an engine can still use it
+        (the already-partitioned shortcut, per-shard sort skipping); the
+        stream engine's chunk-sequential pass 1 downgrades to this
+        kernel once the shortcut is dead, saving the extra compare+
+        reduce pass over every remaining shard's ids.
+        """
+        return np.bincount(ids, minlength=m).astype(np.int64, copy=False)
+
     def scatter(self, keys, values, ids, counts, offsets,
                 out_keys, out_values, *, monotone: bool = False,
                 arena=None) -> None:

@@ -212,9 +212,12 @@ def multisplit_batch(keys_batch, spec_or_fn, num_buckets: int | None = None, *,
         ``"fast"`` (default: fused result-only kernels, thread-pool
         fan-out across *items* for large batches), ``"sharded"``
         (items sequential, each call shard-parallel *inside* — the
-        right shape for a few huge items), ``"auto"`` (per-item choice
-        between those two by item size), or ``"emulate"`` (sequential,
-        full timelines).
+        right shape for a few huge items), ``"stream"`` (items
+        sequential through the out-of-core streamed engine; items may
+        be memmaps or chunked sources and per-item ``chunk_bytes=`` is
+        forwarded), ``"auto"`` (per-item choice among the result-only
+        engines by item kind/size), or ``"emulate"`` (sequential, full
+        timelines).
     workspace:
         Optional scratch arena for the result-only engines; must have
         ``reuse_outputs=False`` because every result in the batch must
@@ -258,10 +261,10 @@ def multisplit_batch(keys_batch, spec_or_fn, num_buckets: int | None = None, *,
         from repro.multisplit.api import multisplit
         return [multisplit(k, s, values=v, method=method, device=device, **kwargs)
                 for k, s, v in zip(keys_batch, specs, values_batch)]
-    if engine not in ("fast", "sharded", "auto"):
+    if engine not in ("fast", "sharded", "stream", "auto"):
         raise ValueError(
-            f"engine must be 'fast', 'sharded', 'auto', or 'emulate', "
-            f"got {engine!r}")
+            f"engine must be 'fast', 'sharded', 'stream', 'auto', or "
+            f"'emulate', got {engine!r}")
     if backend is not None:
         from .backends import resolve_backend
         backend = resolve_backend(backend)
@@ -269,11 +272,17 @@ def multisplit_batch(keys_batch, spec_or_fn, num_buckets: int | None = None, *,
         raise ValueError(
             "multisplit_batch needs a Workspace(reuse_outputs=False): batched "
             "results must all outlive the call, so outputs cannot be pooled")
-    if engine in ("sharded", "auto"):
+    if engine in ("sharded", "stream", "auto"):
         # items run sequentially; each call parallelizes internally over
-        # its shards, so the two pools never nest
+        # its shards, so the two pools never nest (stream results are
+        # never pooled, so the shared scratch arena is always safe)
         from repro.multisplit.api import multisplit
         ws = workspace if workspace is not None else Workspace(reuse_outputs=False)
+        if engine == "stream":
+            return [multisplit(k, s, values=v, method=method, engine="stream",
+                               workspace=ws, max_workers=max_workers,
+                               backend=backend, **kwargs)
+                    for k, s, v in zip(keys_batch, specs, values_batch)]
         return [multisplit(k, s, values=v, method=method, engine=engine,
                            workspace=ws, shards=shards, max_workers=max_workers,
                            backend=backend, **kwargs)

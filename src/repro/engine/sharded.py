@@ -45,6 +45,7 @@ kernels — sort, take, slice copies — release the GIL).
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -88,6 +89,11 @@ def _resolve_workers(max_workers: int | None) -> int:
     return max(1, int(max_workers))
 
 
+# one-time flag for the oversized-shards warning below; the counter
+# still increments on every capped call so tests/benches can observe it
+_warned_oversized_shards = False
+
+
 def _resolve_shards(n: int, shards: int | None, workers: int) -> int:
     if shards is not None:
         shards = int(shards)
@@ -95,7 +101,24 @@ def _resolve_shards(n: int, shards: int | None, workers: int) -> int:
             raise ValueError(f"shards must be >= 1, got {shards}")
         return min(shards, max(n, 1))
     by_cache = -(-n // DEFAULT_SHARD_KEYS) if n else 1
-    return max(1, min(max(by_cache, workers), MAX_SHARDS, max(n, 1)))
+    picked = max(1, min(max(by_cache, workers), MAX_SHARDS, max(n, 1)))
+    if by_cache > MAX_SHARDS and picked == MAX_SHARDS:
+        # the MAX_SHARDS cap binds: shards grow past the cache-resident
+        # DEFAULT_SHARD_KEYS target (~n/MAX_SHARDS keys each). Correct,
+        # but the locality premise no longer holds — the streamed
+        # engine (engine="stream") is the tier built for this regime.
+        get_registry().inc("engine.sharded.oversized_shards", 1)
+        global _warned_oversized_shards
+        if not _warned_oversized_shards:
+            _warned_oversized_shards = True
+            warnings.warn(
+                f"n={n} needs {by_cache} shards of ~{DEFAULT_SHARD_KEYS} keys "
+                f"but the sharded engine caps at MAX_SHARDS={MAX_SHARDS}; "
+                f"shards will hold ~{-(-n // MAX_SHARDS)} keys and exceed the "
+                "cache-resident target. Consider engine='stream' (bounded "
+                "memory, out-of-core) for inputs this large.",
+                RuntimeWarning, stacklevel=3)
+    return picked
 
 
 def scan_offsets(hist: np.ndarray, m: int, P: int) -> np.ndarray:
@@ -238,10 +261,15 @@ def _run_sharded(keys, spec, values, method: str, workspace: Workspace | None,
     shard_monotone = np.zeros(P, dtype=bool)
 
     def prescan_stripe(w: int) -> None:
+        arena = arenas[w]
         for p in range(w, P, workers):
             s = bounds(p)
-            cids = spec(keys[s]) if global_ids is None else global_ids[s]
-            np.copyto(ids8[s], cids, casting="unsafe")
+            if global_ids is None:
+                # arena-scratch evaluation: no per-shard temporaries, so
+                # the hot loop never churns glibc's mmap threshold
+                spec.eval_into(keys[s], ids8[s], arena)
+            else:
+                np.copyto(ids8[s], global_ids[s], casting="unsafe")
             hist[p], shard_monotone[p] = bk.prescan(ids8[s], m)
 
     pool = ThreadPoolExecutor(max_workers=workers) if workers > 1 else None

@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.obs import get_registry
 
-__all__ = ["Workspace"]
+__all__ = ["Workspace", "out_buffer"]
 
 
 def _release_segment(seg) -> None:
@@ -87,6 +87,11 @@ class Workspace:
         # released explicitly by clear()/release_shm().
         self._shm: dict[tuple[str, np.dtype], tuple] = {}
         self._shm_finalizer = None
+        # weakref to the parent arena (sub-arenas only): peak tracking
+        # charges every allocation to the root so peak_nbytes reflects
+        # the whole tree's simultaneous footprint
+        self._parent = None
+        self._peak_nbytes = 0
         self.hits = 0
         self.misses = 0
 
@@ -104,8 +109,39 @@ class Workspace:
         child = self._children.get(name)
         if child is None:
             child = Workspace(reuse_outputs=self.reuse_outputs)
+            child._parent = weakref.ref(self)
             self._children[name] = child
         return child
+
+    def _root(self) -> "Workspace":
+        ws = self
+        while ws._parent is not None:
+            parent = ws._parent()
+            if parent is None:
+                break
+            ws = parent
+        return ws
+
+    def _note_peak(self) -> None:
+        root = self._root()
+        total = root.nbytes + root.shm_nbytes
+        if total > root._peak_nbytes:
+            root._peak_nbytes = total
+            reg = get_registry()
+            if reg.enabled:
+                reg.set_gauge("workspace.peak_nbytes", total)
+
+    @property
+    def peak_nbytes(self) -> int:
+        """High-water mark of :attr:`nbytes` + :attr:`shm_nbytes`.
+
+        Tracked at the root of the arena tree (sub-arena allocations
+        charge their root), updated on every allocating miss, and kept
+        across :meth:`clear` — it answers "how much scratch did this
+        arena ever hold at once", which is what the stream engine's
+        bounded-memory gate checks.
+        """
+        return self._root()._peak_nbytes
 
     def take(self, slot: str, size: int, dtype) -> np.ndarray:
         """A length-``size`` buffer for ``slot``, reused when possible.
@@ -120,6 +156,7 @@ class Workspace:
             buf = np.empty(max(size, 1), dtype=dtype)
             self._slots[key] = buf
             self.misses += 1
+            self._note_peak()
             reg = get_registry()
             if reg.enabled:
                 reg.inc("workspace.misses", 1, slot=slot)
@@ -156,6 +193,7 @@ class Workspace:
                 self._shm_finalizer = weakref.finalize(
                     self, _release_all, self._shm)
             self.misses += 1
+            self._note_peak()
             reg = get_registry()
             if reg.enabled:
                 reg.inc("workspace.misses", 1, slot=slot)

@@ -74,19 +74,26 @@ def _pick_auto(m: int) -> "Method":
     return Method.REDUCED_BIT
 
 
-def _pick_engine(n: int, method_value: str, shards, max_workers,
-                 backend=None) -> str:
-    """``engine="auto"``: dispatch between the two result-only engines.
+def _pick_engine(keys_or_n, method_value: str, shards, max_workers,
+                 backend=None, spec=None) -> str:
+    """``engine="auto"``: dispatch between the result-only engines.
 
-    The choice accounts for the *configuration*, not just the input
-    size:
+    ``keys_or_n`` is the original key source when available (enabling
+    the memmap/chunked-source checks) or a plain element count. The
+    choice accounts for the *configuration*, not just the input size:
 
+    * a chunked source (generator/iterable of chunks, chunk-factory
+      callable) can only be consumed by the stream engine;
     * non-stable methods only exist in the fast engine;
     * an explicit ``shards=`` request forces sharded;
-    * a resolved process-pool backend is a sharded-engine executor, so
-      it forces sharded too (backend availability participates here —
-      an unavailable ``"numba"`` request has already degraded to numpy
-      by the time this runs and changes nothing);
+    * a memmap key array, or an in-memory array whose keys alone exceed
+      ``STREAM_AUTO_MIN_BYTES``, streams (out-of-core inputs must never
+      be materialized whole) — provided the spec is elementwise, the
+      stream engine's requirement;
+    * a resolved process-pool backend is otherwise a sharded-engine
+      executor, so it forces sharded (backend availability participates
+      here — an unavailable ``"numba"`` request has already degraded to
+      numpy by the time this runs and changes nothing);
     * otherwise the crossover depends on how many workers the sharded
       engine would actually get: ``SHARDED_AUTO_MIN_N`` when worker
       parallelism is available, ``SHARDED_AUTO_MIN_N_SINGLE`` (~4x
@@ -98,10 +105,25 @@ def _pick_engine(n: int, method_value: str, shards, max_workers,
     from repro.engine.sharded import (SHARDED_AUTO_MIN_N,
                                       SHARDED_AUTO_MIN_N_SINGLE,
                                       _resolve_workers)
+    from repro.engine.stream import STREAM_AUTO_MIN_BYTES, _is_chunked_source
+    keys = None
+    if isinstance(keys_or_n, (int, np.integer)):
+        n = int(keys_or_n)
+    else:
+        keys = keys_or_n
+        if _is_chunked_source(keys):
+            return "stream"
+        if not isinstance(keys, np.ndarray):  # keep memmaps recognizable
+            keys = np.asarray(keys)
+        n = keys.size
     if method_value not in STABLE_METHODS:
         return "fast"
     if shards is not None:
         return "sharded"
+    if (keys is not None and (spec is None or spec.elementwise)
+            and (isinstance(keys, np.memmap)
+                 or keys.nbytes >= STREAM_AUTO_MIN_BYTES)):
+        return "stream"
     if backend is not None and getattr(backend, "executor", "thread") == "process":
         return "sharded"
     workers = _resolve_workers(max_workers)
@@ -109,18 +131,23 @@ def _pick_engine(n: int, method_value: str, shards, max_workers,
     return "sharded" if n >= floor else "fast"
 
 
-def multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
-               values: np.ndarray | None = None, method: Method | str = Method.AUTO,
+def multisplit(keys, spec_or_fn, num_buckets: int | None = None, *,
+               values=None, method: Method | str = Method.AUTO,
                engine: str = "emulate", workspace=None,
                shards: int | None = None, max_workers: int | None = None,
-               backend=None,
+               backend=None, chunk_bytes: int | None = None,
+               out: np.ndarray | None = None,
+               out_values: np.ndarray | None = None,
                device=None, warps_per_block: int = 8, **kwargs) -> MultisplitResult:
     """Permute ``keys`` (and optionally ``values``) into contiguous buckets.
 
     Parameters
     ----------
     keys:
-        1-D array of 32-bit keys.
+        1-D array of 32-bit keys. With ``engine="stream"`` (or
+        ``"auto"``) this may also be an ``np.memmap``, a zero-argument
+        callable returning an iterable of 1-D chunks, or a one-shot
+        iterable of chunks — see :func:`repro.engine.stream_multisplit`.
     spec_or_fn:
         A :class:`BucketSpec` or a vectorized callable ``keys -> ids``
         (pass ``num_buckets`` with a bare callable).
@@ -134,9 +161,13 @@ def multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
         and prices a timeline; ``"fast"`` runs the fused result-only
         kernels of :mod:`repro.engine`; ``"sharded"`` runs the
         shard-parallel {local, global, local} engine (stable methods
-        only); ``"auto"`` picks between fast and sharded by input size.
-        All three result-only engines return the bit-identical
-        permutation with ``timeline=None``.
+        only); ``"stream"`` runs the out-of-core two-level streamed
+        engine (stable methods + elementwise specs, bounded peak
+        memory); ``"auto"`` picks among the result-only engines —
+        stream for chunked/memmap sources and in-memory arrays past
+        ``STREAM_AUTO_MIN_BYTES``, then sharded above a calibrated
+        input size, fast otherwise. All result-only engines return the
+        bit-identical permutation with ``timeline=None``.
     workspace:
         Optional :class:`~repro.engine.Workspace` reused across calls.
         With the result-only engines it pools scratch *and* (by
@@ -147,7 +178,14 @@ def multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
     shards / max_workers:
         Decomposition knobs for ``engine="sharded"`` (and ``"auto"``,
         where an explicit ``shards=`` forces sharded): shard count and
-        worker-thread cap. Never affect results. Rejected with the
+        worker-thread cap. ``max_workers`` also applies to
+        ``engine="stream"``. Never affect results. Rejected with the
+        other engines.
+    chunk_bytes / out / out_values:
+        Stream-engine knobs (``engine="stream"``; under ``"auto"``
+        passing any of them selects stream): super-shard byte budget
+        and preallocated output arrays (e.g. writable memmaps). See
+        :func:`repro.engine.stream_multisplit`. Rejected with the
         other engines.
     backend:
         Kernel backend for the result-only engines — ``"numpy"``
@@ -176,28 +214,65 @@ def multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
 
     requested = engine
     resolved_backend = backend
-    if engine in ("fast", "sharded", "auto") and backend is not None:
+    if engine in ("fast", "sharded", "stream", "auto") and backend is not None:
         from repro.engine.backends import resolve_backend
         resolved_backend = resolve_backend(backend)
+    stream_knobs = (chunk_bytes is not None or out is not None
+                    or out_values is not None)
     if engine == "auto":
-        engine = _pick_engine(np.asarray(keys).size, method.value,
-                              shards, max_workers, resolved_backend)
-    if requested not in ("sharded", "auto") and (shards is not None
-                                                or max_workers is not None):
+        if stream_knobs:
+            # chunk_bytes/out/out_values are an explicit streaming
+            # request; honoring them on another engine is impossible
+            engine = "stream"
+        else:
+            engine = _pick_engine(keys, method.value, shards, max_workers,
+                                  resolved_backend, spec)
+    from repro.engine.stream import _is_chunked_source
+    if _is_chunked_source(keys) and engine not in ("stream",):
+        raise TypeError(
+            "chunked key sources (generators/iterables of chunks, chunk "
+            "factories) can only be consumed by the stream engine; pass "
+            f"engine='stream' or engine='auto' (got engine={requested!r})")
+    if requested not in ("sharded", "auto") and shards is not None:
         raise ValueError(
-            "shards/max_workers are sharded-engine knobs; pass them with "
+            "shards is a sharded-engine knob; pass it with "
             f"engine='sharded' or engine='auto' (got engine={requested!r})")
-    if backend is not None and requested not in ("fast", "sharded", "auto"):
+    if (requested not in ("sharded", "stream", "auto")
+            and max_workers is not None):
+        raise ValueError(
+            "max_workers is a sharded/stream-engine knob; pass it with "
+            "engine='sharded', 'stream', or 'auto' "
+            f"(got engine={requested!r})")
+    if stream_knobs and requested not in ("stream", "auto"):
+        raise ValueError(
+            "chunk_bytes/out/out_values are stream-engine knobs; pass them "
+            f"with engine='stream' or engine='auto' (got engine={requested!r})")
+    if backend is not None and requested not in ("fast", "sharded", "stream",
+                                                 "auto"):
         raise ValueError(
             "backend selects the result-only engines' kernels; pass it with "
-            f"engine='fast', 'sharded', or 'auto' (got engine={requested!r})")
+            f"engine='fast', 'sharded', 'stream', or 'auto' "
+            f"(got engine={requested!r})")
 
     reg = get_registry()
     reg.inc("api.multisplit.calls", 1, engine=engine, method=method.value)
-    if reg.enabled:
+    if reg.enabled and not _is_chunked_source(keys):
         reg.inc("api.multisplit.keys", np.asarray(keys).size,
                 engine=engine, method=method.value)
 
+    if engine == "stream":
+        from repro.engine import stream_multisplit
+        if shards is not None:
+            raise ValueError(
+                "the stream engine sizes its shards from chunk_bytes and "
+                "has no shards knob; drop shards= or use engine='sharded'")
+        return stream_multisplit(keys, spec, values=values,
+                                 method=method.value, workspace=workspace,
+                                 chunk_bytes=chunk_bytes,
+                                 max_workers=max_workers,
+                                 backend=resolved_backend,
+                                 out=out, out_values=out_values,
+                                 warps_per_block=warps_per_block, **kwargs)
     if engine == "fast":
         from repro.engine import fast_multisplit
         return fast_multisplit(keys, spec, values=values, method=method.value,
@@ -212,8 +287,8 @@ def multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = None, *,
                                   warps_per_block=warps_per_block, **kwargs)
     if engine != "emulate":
         raise ValueError(
-            f"engine must be 'emulate', 'fast', 'sharded', or 'auto', "
-            f"got {engine!r}")
+            f"engine must be 'emulate', 'fast', 'sharded', 'stream', or "
+            f"'auto', got {engine!r}")
     if workspace is not None and method in (Method.DIRECT, Method.WARP,
                                             Method.BLOCK, Method.SPARSE_BLOCK):
         # the warp-tiled methods pool their padding arrays; the others

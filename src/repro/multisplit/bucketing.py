@@ -58,6 +58,26 @@ class BucketSpec:
         """Bucket id of every key; must return uint32 in ``[0, num_buckets)``."""
         raise NotImplementedError
 
+    def eval_into(self, keys: np.ndarray, out: np.ndarray, arena=None) -> None:
+        """Evaluate bucket ids straight into preallocated ``out``.
+
+        ``out`` is any integer array wide enough for ``num_buckets``
+        (engines pass their narrowed per-shard id buffers); ``arena``
+        is an optional :class:`~repro.engine.workspace.Workspace`-like
+        pool (``take(slot, size, dtype)``) for evaluation scratch.
+
+        The engines' hot loops call the spec once per ~32K-key shard.
+        With the default :meth:`ids` path every call allocates a few
+        ~256KB temporaries — sized right at glibc's dynamic mmap
+        threshold, so each one is a fresh ``mmap``/``munmap`` pair and
+        the loop page-faults its scratch back in on every shard (~40%
+        of prescan wall time). Subclasses with arena-scratch overrides
+        make the per-shard evaluation allocation-free; results must be
+        bit-identical to :meth:`ids`. The base implementation just
+        falls back to :meth:`ids`.
+        """
+        np.copyto(out, self.ids(np.asarray(keys)), casting="unsafe")
+
     def __call__(self, keys: np.ndarray) -> np.ndarray:
         out = np.asarray(self.ids(np.asarray(keys)))
         return out.astype(np.uint32, copy=False)
@@ -86,6 +106,24 @@ class RangeBuckets(BucketSpec):
             raise ValueError("key outside bucket domain")
         return ((rel * np.uint64(self.num_buckets)) // span).astype(np.uint32)
 
+    def eval_into(self, keys: np.ndarray, out: np.ndarray, arena=None) -> None:
+        if arena is None:
+            return super().eval_into(keys, out)
+        n = keys.size
+        span = self.hi - self.lo
+        # same arithmetic as ids(), element for element, but through one
+        # pooled uint64 scratch buffer: the C casts and mod-2^64 wraps
+        # below are exactly what astype/subtract produce there
+        rel = arena.take("spec.rel64", n, np.uint64)
+        np.copyto(rel, keys, casting="unsafe")
+        if self.lo:
+            np.subtract(rel, np.uint64(self.lo), out=rel)
+        if n and int(rel.max()) >= span:
+            raise ValueError("key outside bucket domain")
+        np.multiply(rel, np.uint64(self.num_buckets), out=rel)
+        np.floor_divide(rel, np.uint64(span), out=rel)
+        np.copyto(out, rel, casting="unsafe")
+
 
 class IdentityBuckets(BucketSpec):
     """``B_i = {i}``: each key *is* its bucket id (keys must be < m)."""
@@ -99,6 +137,13 @@ class IdentityBuckets(BucketSpec):
         if keys.size and int(keys.max()) >= self.num_buckets:
             raise ValueError("identity bucketing requires keys < num_buckets")
         return keys.astype(np.uint32)
+
+    def eval_into(self, keys: np.ndarray, out: np.ndarray, arena=None) -> None:
+        if keys.size and int(keys.max()) >= self.num_buckets:
+            raise ValueError("identity bucketing requires keys < num_buckets")
+        # chained C casts (key -> uint32 -> out dtype in ids(), key ->
+        # out dtype here) truncate identically; no scratch needed at all
+        np.copyto(out, keys, casting="unsafe")
 
 
 class DeltaBuckets(BucketSpec):
@@ -115,6 +160,18 @@ class DeltaBuckets(BucketSpec):
     def ids(self, keys: np.ndarray) -> np.ndarray:
         b = np.floor(keys.astype(np.float64) / self.delta).astype(np.int64)
         return np.minimum(b, self.num_buckets - 1).astype(np.uint32)
+
+    def eval_into(self, keys: np.ndarray, out: np.ndarray, arena=None) -> None:
+        if arena is None:
+            return super().eval_into(keys, out)
+        n = keys.size
+        f = arena.take("spec.f64", n, np.float64)
+        np.divide(keys, self.delta, out=f)
+        np.floor(f, out=f)
+        b = arena.take("spec.i64", n, np.int64)
+        np.copyto(b, f, casting="unsafe")
+        np.minimum(b, self.num_buckets - 1, out=b)
+        np.copyto(out, b, casting="unsafe")
 
 
 class PrimeCompositeBuckets(BucketSpec):

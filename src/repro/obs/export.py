@@ -48,4 +48,5 @@ def export_workspace(registry: MetricsRegistry, workspace, **labels) -> None:
     registry.set_gauge("workspace.hits", workspace.hits, **labels)
     registry.set_gauge("workspace.misses", workspace.misses, **labels)
     registry.set_gauge("workspace.nbytes", workspace.nbytes, **labels)
+    registry.set_gauge("workspace.peak_nbytes", workspace.peak_nbytes, **labels)
     registry.set_gauge("workspace.slots", len(workspace._slots), **labels)

@@ -53,7 +53,7 @@ __all__ = ["fast_radix_sort", "DigitBuckets", "DEFAULT_SORT_DIGIT_BITS"]
 DEFAULT_SORT_DIGIT_BITS = 8
 
 _UNSIGNED = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
-_SORT_ENGINES = ("fast", "sharded", "auto")
+_SORT_ENGINES = ("fast", "sharded", "stream", "auto")
 
 
 class DigitBuckets(BucketSpec):
@@ -115,11 +115,14 @@ def _split_pass(work, spec, vals, method: str, eng: str, arena, bk,
                            workspace=arena, backend=bk)
 
 
-def _resolve_sort_engine(engine: str, n: int, method: str, shards,
+def _resolve_sort_engine(engine: str, keys_or_n, method: str, shards,
                          max_workers, bk) -> str:
     """Engine/knob resolution shared by the sort family (mirrors the
-    multisplit API contract: ``auto`` picks fast-vs-sharded by size and
-    worker availability, sharded knobs are rejected elsewhere)."""
+    multisplit API contract: ``auto`` picks among the result-only
+    engines by source kind, size, and worker availability; per-engine
+    knobs are rejected elsewhere). ``keys_or_n`` is the key array when
+    available (enabling the memmap-aware stream dispatch) or a plain
+    element count."""
     if engine == "emulate":
         raise ValueError(
             "fast_radix_sort runs the result-only engines; use "
@@ -131,10 +134,107 @@ def _resolve_sort_engine(engine: str, n: int, method: str, shards,
         raise ValueError(
             "shards/max_workers are sharded-engine knobs; pass them with "
             f"engine='sharded' or engine='auto' (got engine={engine!r})")
+    if engine == "stream" and shards is not None:
+        raise ValueError(
+            "the stream engine sizes its shards from chunk_bytes and has "
+            "no shards knob; drop shards= or use engine='sharded'")
     if engine == "auto":
         from repro.multisplit.api import _pick_engine
-        return _pick_engine(n, method, shards, max_workers, bk)
+        return _pick_engine(keys_or_n, method, shards, max_workers, bk)
     return engine
+
+
+def _chunk_factory(arr: np.ndarray, chunk_keys: int, encode: bool):
+    """Zero-argument chunk source over ``arr`` for the stream engine:
+    plain zero-copy slices, or slices run through :func:`_encode_keys`
+    chunk-wise (so signed / narrow dtypes never encode the whole
+    array)."""
+    def chunks():
+        for lo in range(0, arr.size, chunk_keys):
+            sl = arr[lo:lo + chunk_keys]
+            yield _encode_keys(sl) if encode else sl
+    return chunks
+
+
+def _stream_radix(keys, values, bits, digit_bits: int, method: str,
+                  workspace, bk, max_workers, chunk_bytes, reg):
+    """The pass loop on the stream engine: out-of-core LSB radix sort.
+
+    Every pass streams the previous pass's output through
+    :func:`~repro.engine.stream_multisplit` into the other buffer of a
+    lazily-allocated ping-pong pair of :func:`~repro.engine.stream_buffer`
+    outputs, so the whole sort inherits the stream engine's
+    ``O(chunk + m * shards)`` peak anonymous memory for any ``n``
+    (buffers past ``MEMMAP_OUT_THRESHOLD`` live in unlinked temp-file
+    memmaps). The order-preserving key encoding and its inverse are
+    applied chunk-wise — the input array is never encoded whole.
+    """
+    from repro.engine import Workspace
+    from repro.engine.stream import (DEFAULT_CHUNK_BYTES, stream_buffer,
+                                     stream_multisplit)
+
+    n = keys.size
+    dt = keys.dtype
+    work_dtype = np.dtype(_UNSIGNED[max(dt.itemsize, 4)])
+    identity = dt == work_dtype  # unsigned >= 32-bit: encode is a no-op
+    cb = int(chunk_bytes) if chunk_bytes is not None else DEFAULT_CHUNK_BYTES
+    chunk_keys = max(1, cb // work_dtype.itemsize)
+    if bits is None:
+        mx = 0
+        for lo in range(0, n, chunk_keys):
+            mx = max(mx, int(_encode_keys(keys[lo:lo + chunk_keys]).max()))
+        bits = max(1, mx.bit_length())
+    passes = -(-bits // digit_bits)
+
+    reg.inc("sort.fast.calls", 1, kind="radix", engine="stream")
+    if reg.enabled:
+        reg.inc("sort.fast.keys", n, kind="radix")
+        reg.inc("sort.fast.passes", passes, kind="radix")
+
+    ws = workspace if workspace is not None else Workspace()
+    arena = ws.subarena("sort.stream")
+    # lazily-allocated ping-pong output pairs: a single-pass sort (the
+    # reduced-bit sweet spot) only ever touches one pair
+    buf_keys: list = [None, None]
+    buf_vals: list = [None, None]
+    cur_keys, cur_vals = None, None
+    with reg.timer("sort.fast.run_ms", kind="radix", engine="stream",
+                   kv=values is not None).time():
+        for p in range(passes):
+            shift = p * digit_bits
+            spec = DigitBuckets(shift, min(digit_bits, bits - shift))
+            slot = p & 1
+            if buf_keys[slot] is None:
+                buf_keys[slot] = stream_buffer(n, work_dtype)
+                if values is not None:
+                    buf_vals[slot] = stream_buffer(n, values.dtype)
+            if p == 0:
+                # a chunked-callable source keeps pass 0's encode
+                # chunk-wise; values ride along as a matching callable
+                src = keys if identity else _chunk_factory(
+                    keys, chunk_keys, encode=True)
+                vsrc = values if (identity or values is None) else \
+                    _chunk_factory(values, chunk_keys, encode=False)
+            else:
+                src, vsrc = cur_keys, cur_vals
+            with reg.timer("sort.fast.pass_ms", kind="radix").time():
+                res = stream_multisplit(
+                    src, spec, values=vsrc, method=method, workspace=arena,
+                    chunk_bytes=chunk_bytes, max_workers=max_workers,
+                    backend=bk, out=buf_keys[slot],
+                    out_values=buf_vals[slot])
+            cur_keys, cur_vals = res.keys, res.values
+    if workspace is None:
+        # stream outputs are dedicated buffers, never views into the
+        # arena's shm segments, so procpool staging can unlink eagerly
+        ws.release_shm()
+    if identity:
+        return cur_keys, cur_vals
+    dec = stream_buffer(n, dt)
+    for lo in range(0, n, chunk_keys):
+        hi = min(lo + chunk_keys, n)
+        dec[lo:hi] = _decode_keys(np.asarray(cur_keys[lo:hi]), dt)
+    return dec, cur_vals
 
 
 def fast_radix_sort(keys: np.ndarray, values: np.ndarray | None = None, *,
@@ -142,7 +242,7 @@ def fast_radix_sort(keys: np.ndarray, values: np.ndarray | None = None, *,
                     digit_bits: int = DEFAULT_SORT_DIGIT_BITS,
                     engine: str = "auto", backend=None,
                     shards: int | None = None, max_workers: int | None = None,
-                    workspace=None):
+                    chunk_bytes: int | None = None, workspace=None):
     """Stable LSB radix sort of ``keys`` (and ``values``), multisplit-powered.
 
     Bit-identical to :func:`~repro.sort.reference.stable_sort_pairs`
@@ -152,8 +252,9 @@ def fast_radix_sort(keys: np.ndarray, values: np.ndarray | None = None, *,
     Parameters
     ----------
     keys:
-        1-D array of any numpy integer dtype. Signed keys are handled
-        by an order-preserving sign-bit flip.
+        1-D array of any numpy integer dtype (an ``np.memmap`` streams
+        out-of-core under ``engine="stream"``/``"auto"``). Signed keys
+        are handled by an order-preserving sign-bit flip.
     values:
         Optional same-shape array moved alongside the keys.
     bits:
@@ -167,8 +268,13 @@ def fast_radix_sort(keys: np.ndarray, values: np.ndarray | None = None, *,
     digit_bits:
         Bits per pass (1-16; default 8 = 256 buckets per pass).
     engine:
-        ``"fast"``, ``"sharded"``, or ``"auto"`` (default — the
-        multisplit API's size/worker-aware dispatch, applied per sort).
+        ``"fast"``, ``"sharded"``, ``"stream"`` (each pass runs the
+        out-of-core streamed engine between memmap-eligible ping-pong
+        buffers — peak anonymous memory stays ``O(chunk + m * shards)``
+        for any ``n``), or ``"auto"`` (default — the multisplit API's
+        source/size/worker-aware dispatch, applied per sort: memmap
+        keys and in-memory arrays past ``STREAM_AUTO_MIN_BYTES``
+        stream).
     backend:
         Kernel backend forwarded to every pass (``"numpy"``,
         ``"numba"``, ``"procpool"``, ``"auto"``, or a
@@ -177,16 +283,28 @@ def fast_radix_sort(keys: np.ndarray, values: np.ndarray | None = None, *,
         ``"auto"``, exactly as in :func:`repro.multisplit.multisplit`.
     shards / max_workers:
         Sharded-engine knobs, forwarded to every pass; rejected with
-        ``engine="fast"``. Never affect results.
+        ``engine="fast"`` (and ``shards`` with ``engine="stream"``,
+        which sizes shards from ``chunk_bytes``). ``max_workers`` also
+        applies to stream passes. Never affect results.
+    chunk_bytes:
+        Stream-engine super-shard byte budget, forwarded to every pass;
+        passing it under ``engine="auto"`` selects stream. Rejected
+        with the in-core engines. Never affects results.
     workspace:
         Optional :class:`~repro.engine.Workspace`. The sort carves two
         child arenas (``sort.ping`` / ``sort.pong``) for the ping-pong
-        buffer pair, so repeated sorts reuse all scratch. The usual
+        buffer pair (one ``sort.stream`` arena for stream-pass chunk
+        scratch), so repeated sorts reuse all scratch. The usual
         ownership contract applies: with a pooling workspace the
         returned arrays may be views that the next call on the same
-        workspace overwrites.
+        workspace overwrites. Stream results are never pooled.
     """
-    keys = np.ascontiguousarray(keys)
+    # ascontiguousarray would strip the np.memmap subclass (and copy
+    # read-only contiguous arrays' flags decide nothing — it is already
+    # zero-copy for them); only coerce when actually needed so the
+    # engine dispatch below still sees memmaps
+    if not (isinstance(keys, np.ndarray) and keys.flags.c_contiguous):
+        keys = np.ascontiguousarray(keys)
     if keys.ndim != 1:
         raise ValueError(f"keys must be 1-D, got shape {keys.shape}")
     if not np.issubdtype(keys.dtype, np.integer):
@@ -195,7 +313,8 @@ def fast_radix_sort(keys: np.ndarray, values: np.ndarray | None = None, *,
             "map floats through an order-preserving encoding first "
             "(see repro.multisplit.keys.encode_keys)")
     if values is not None:
-        values = np.ascontiguousarray(values)
+        if not (isinstance(values, np.ndarray) and values.flags.c_contiguous):
+            values = np.ascontiguousarray(values)
         if values.shape != keys.shape:
             raise ValueError(
                 f"values shape {values.shape} must match keys shape {keys.shape}")
@@ -216,20 +335,30 @@ def fast_radix_sort(keys: np.ndarray, values: np.ndarray | None = None, *,
     if n == 0:
         return keys.copy(), (values.copy() if values is not None else None)
 
+    # reduced-bit multisplit is the thematic pass method but its
+    # key-value packing constraint limits it to 32-bit keys; "direct"
+    # carries 64-bit pairs with the identical stable permutation
+    method = "reduced_bit" if max(keys.dtype.itemsize, 4) == 4 else "direct"
+
+    from repro.engine import Workspace, resolve_backend
+    bk = resolve_backend(backend) if backend is not None else None
+    eng = _resolve_sort_engine(engine, keys, method, shards, max_workers, bk)
+    if chunk_bytes is not None:
+        if engine not in ("stream", "auto"):
+            raise ValueError(
+                "chunk_bytes is a stream-engine knob; pass it with "
+                f"engine='stream' or engine='auto' (got engine={engine!r})")
+        eng = "stream"
+
+    reg = get_registry()
+    if eng == "stream":
+        return _stream_radix(keys, values, bits, digit_bits, method,
+                             workspace, bk, max_workers, chunk_bytes, reg)
+
     work = _encode_keys(keys)
     if bits is None:
         bits = max(1, int(work.max()).bit_length())
     passes = -(-bits // digit_bits)
-    # reduced-bit multisplit is the thematic pass method but its
-    # key-value packing constraint limits it to 32-bit keys; "direct"
-    # carries 64-bit pairs with the identical stable permutation
-    method = "reduced_bit" if work.dtype.itemsize == 4 else "direct"
-
-    from repro.engine import Workspace, resolve_backend
-    bk = resolve_backend(backend) if backend is not None else None
-    eng = _resolve_sort_engine(engine, n, method, shards, max_workers, bk)
-
-    reg = get_registry()
     reg.inc("sort.fast.calls", 1, kind="radix", engine=eng)
     if reg.enabled:
         reg.inc("sort.fast.keys", n, kind="radix")

@@ -108,6 +108,20 @@ class TestKernelContract:
         assert s_mono and np.array_equal(s_hist, hist)
 
     @pytest.mark.parametrize("backend", RUNNABLE)
+    @pytest.mark.parametrize("m", [1, 8, 200])
+    def test_hist_matches_prescan(self, backend, m):
+        # the histogram-only kernel the stream engine downgrades to once
+        # the already-partitioned shortcut is dead
+        bk = get_backend(backend)
+        rng = np.random.default_rng(m)
+        ids = rng.integers(0, m, 5000).astype(narrow_ids_dtype(m))
+        bk.warmup(np.dtype(np.uint32), None, ids.dtype)
+        hist = bk.hist(ids, m)
+        assert hist.dtype == np.int64
+        assert np.array_equal(hist, bk.prescan(ids, m)[0])
+        assert np.array_equal(bk.hist(ids[:0], m), np.zeros(m, np.int64))
+
+    @pytest.mark.parametrize("backend", RUNNABLE)
     @pytest.mark.parametrize("kv", [False, True])
     def test_scatter_is_stable(self, backend, kv):
         bk = get_backend(backend)

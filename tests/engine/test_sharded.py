@@ -271,6 +271,42 @@ class TestShardedBatch:
             multisplit_batch(batch, RangeBuckets(4), engine="fast", shards=2)
 
 
+class TestOversizedShardsCap:
+    """When auto-sizing wants more than MAX_SHARDS shards, the cap must
+    warn once, count every capped call, and still cap (never error)."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_warning_flag(self, monkeypatch):
+        from repro.engine import sharded as sharded_mod
+        monkeypatch.setattr(sharded_mod, "_warned_oversized_shards", False)
+
+    def test_cap_warns_once_and_counts_every_call(self):
+        import warnings as _warnings
+        from repro.engine.sharded import (DEFAULT_SHARD_KEYS, MAX_SHARDS,
+                                          _resolve_shards)
+        huge = (MAX_SHARDS + 1) * DEFAULT_SHARD_KEYS  # auto-size > cap
+        with collecting() as reg:
+            with pytest.warns(RuntimeWarning, match="engine='stream'"):
+                assert _resolve_shards(huge, None, 4) == MAX_SHARDS
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("error")  # second call: silent
+                assert _resolve_shards(huge, None, 4) == MAX_SHARDS
+        flat = reg.as_flat()
+        assert flat["engine.sharded.oversized_shards"] == 2
+
+    def test_explicit_shards_bypass_cap_silently(self):
+        import warnings as _warnings
+        from repro.engine.sharded import MAX_SHARDS, _resolve_shards
+        with collecting() as reg:
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("error")
+                assert _resolve_shards(10**9, MAX_SHARDS + 1, 4) \
+                    == MAX_SHARDS + 1
+                # under-cap auto sizing stays silent too
+                assert _resolve_shards(1 << 20, None, 4) <= MAX_SHARDS
+        assert "engine.sharded.oversized_shards" not in reg.as_flat()
+
+
 class TestShardedObservability:
     def test_stage_timers_and_gauges(self):
         keys = np.random.default_rng(5).integers(0, 2**32, 40_000,

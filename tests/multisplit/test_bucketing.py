@@ -145,3 +145,91 @@ class TestAsBucketSpec:
     def test_base_rejects_bad_m(self):
         with pytest.raises(ValueError):
             BucketSpec(0)
+
+
+class TestEvalInto:
+    """eval_into must be bit-identical to ids() on every spec.
+
+    The engines' hot loops use the pooled-scratch path; any divergence
+    from ids() would silently break cross-engine parity, so identity is
+    pinned here per spec, per narrowed output dtype, with and without
+    an arena.
+    """
+
+    SPECS = [
+        RangeBuckets(32),
+        RangeBuckets(7, lo=1000, hi=250_000),
+        RangeBuckets(1),
+        IdentityBuckets(200),
+        DeltaBuckets(3.5, 16),
+        DeltaBuckets(0.25, 4),
+        PrimeCompositeBuckets(),
+        CustomBuckets(lambda k: np.asarray(k) % 5, 5, elementwise=True),
+    ]
+
+    @staticmethod
+    def _keys_for(spec, rng, n=4097):
+        if isinstance(spec, IdentityBuckets):
+            return rng.integers(0, spec.num_buckets, n, dtype=np.uint32)
+        if isinstance(spec, PrimeCompositeBuckets):
+            return rng.integers(0, 1 << 16, n, dtype=np.uint32)
+        if isinstance(spec, RangeBuckets):
+            return rng.integers(spec.lo, spec.hi, n, dtype=np.uint32)
+        return rng.integers(0, 1 << 20, n, dtype=np.uint32)
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: repr(s))
+    @pytest.mark.parametrize("out_dtype", [np.uint8, np.uint16, np.uint32])
+    @pytest.mark.parametrize("with_arena", [False, True])
+    def test_matches_ids(self, spec, out_dtype, with_arena):
+        if np.iinfo(out_dtype).max < spec.num_buckets - 1:
+            pytest.skip("output dtype too narrow for this spec")
+        from repro.engine import Workspace
+
+        rng = np.random.default_rng(42)
+        keys = self._keys_for(spec, rng)
+        arena = Workspace() if with_arena else None
+        out = np.full(keys.size, 255, dtype=out_dtype)
+        spec.eval_into(keys, out, arena)
+        expected = spec.ids(keys).astype(out_dtype)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_empty_keys(self):
+        from repro.engine import Workspace
+
+        for spec in (RangeBuckets(8), IdentityBuckets(8), DeltaBuckets(2.0, 8)):
+            out = np.empty(0, dtype=np.uint8)
+            spec.eval_into(np.empty(0, dtype=np.uint32), out, Workspace())
+
+    def test_range_domain_error_matches_ids(self):
+        from repro.engine import Workspace
+
+        spec = RangeBuckets(4, lo=10, hi=20)
+        bad = np.array([10, 25], dtype=np.uint32)
+        out = np.empty(2, dtype=np.uint8)
+        with pytest.raises(ValueError, match="outside bucket domain"):
+            spec.ids(bad)
+        with pytest.raises(ValueError, match="outside bucket domain"):
+            spec.eval_into(bad, out, Workspace())
+        # below-domain keys wrap mod 2^64, exactly like ids()
+        low = np.array([5], dtype=np.uint32)
+        with pytest.raises(ValueError, match="outside bucket domain"):
+            spec.eval_into(low, np.empty(1, dtype=np.uint8), Workspace())
+
+    def test_identity_domain_error_matches_ids(self):
+        spec = IdentityBuckets(4)
+        bad = np.array([0, 4], dtype=np.uint32)
+        with pytest.raises(ValueError, match="requires keys <"):
+            spec.eval_into(bad, np.empty(2, dtype=np.uint8), None)
+
+    def test_arena_scratch_is_pooled(self):
+        from repro.engine import Workspace
+
+        spec = RangeBuckets(32)
+        arena = Workspace()
+        keys = np.arange(1024, dtype=np.uint32)
+        out = np.empty(1024, dtype=np.uint8)
+        spec.eval_into(keys, out, arena)
+        misses = arena.misses
+        for _ in range(5):
+            spec.eval_into(keys, out, arena)
+        assert arena.misses == misses  # steady state: no new allocations
