@@ -331,6 +331,41 @@ def bench_stream() -> dict:
     }
 
 
+def bench_skew() -> dict:
+    """Sampled-splitter skew gate (bench_skew.py) at full n = 2^22.
+
+    Everything gated here is seeded-deterministic — skew ratios, the
+    recursion resplit count, drift vs the stable oracle, and the
+    boundary checksum are exact; only the wall-clock build/split times
+    use the tolerance band.
+    """
+    import bench_skew
+
+    config = {"n": bench_skew.N, "m": bench_skew.M,
+              "oversample": bench_skew.OVERSAMPLE, "repeats": 3}
+    report = bench_skew.run(repeats=config["repeats"])
+    metrics = {
+        "range_skew": report["range_skew"],
+        "splitter_skew": report["splitter_skew"],
+        "resplits": report["resplits"],
+        "drift": report["drift"],
+        "starts_checksum": report["starts_checksum"],
+        "sample_ms": report["sample_ms"],
+        "split_ms": report["split_ms"],
+        # the acceptance gates themselves, recorded as exact booleans so
+        # a baseline diff is a loud CI failure, not a tolerance judgment
+        "range_skew_over_50": int(report["range_skew"] > 50.0),
+        "splitter_skew_under_2x": int(report["splitter_skew"] <= 2.0),
+    }
+    return {
+        "config": config,
+        "metrics": metrics,
+        "exact": ["range_skew", "splitter_skew", "resplits", "drift",
+                  "starts_checksum", "range_skew_over_50",
+                  "splitter_skew_under_2x"],
+    }
+
+
 BENCHES = {
     "engine": bench_engine,
     "sweep": bench_sweep,
@@ -341,6 +376,7 @@ BENCHES = {
     "backends": bench_backends,
     "sort_family": bench_sort_family,
     "service": bench_service,
+    "skew": bench_skew,
 }
 
 

@@ -29,8 +29,11 @@ from .multisplit import (
     IdentityBuckets,
     DeltaBuckets,
     PrimeCompositeBuckets,
+    SplitterBuckets,
     CustomBuckets,
     check_multisplit,
+    validate_spec,
+    SpecValidationError,
 )
 from .simt import Device, DeviceSpec, K40C, GTX750TI
 from .engine import Workspace
@@ -42,7 +45,8 @@ __all__ = [
     "Method", "multisplit", "multisplit_kv", "multisplit_batch",
     "MultisplitResult",
     "BucketSpec", "RangeBuckets", "IdentityBuckets", "DeltaBuckets",
-    "PrimeCompositeBuckets", "CustomBuckets", "check_multisplit",
+    "PrimeCompositeBuckets", "SplitterBuckets", "CustomBuckets",
+    "check_multisplit", "validate_spec", "SpecValidationError",
     "Device", "DeviceSpec", "K40C", "GTX750TI", "Workspace",
     "fast_radix_sort", "semisort", "SemisortResult",
     "__version__",

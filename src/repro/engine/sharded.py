@@ -158,7 +158,7 @@ def sharded_multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = N
                        values: np.ndarray | None = None, method: str = "auto",
                        workspace: Workspace | None = None,
                        shards: int | None = None, max_workers: int | None = None,
-                       backend=None,
+                       backend=None, strict: bool = False,
                        **kwargs) -> MultisplitResult:
     """Sharded result-only multisplit, bit-identical to ``engine="emulate"``.
 
@@ -181,12 +181,19 @@ def sharded_multisplit(keys: np.ndarray, spec_or_fn, num_buckets: int | None = N
         process pool instead of threads), or ``"auto"``. Results never
         depend on this knob either — every backend produces the
         bit-identical stable permutation.
+    strict:
+        Run the :func:`~repro.multisplit.validate.validate_spec`
+        battery on the spec against a bounded key sample before the
+        prescan touches shared scratch.
 
     Like :func:`~repro.engine.fast_multisplit`, launch-shape ``kwargs``
     (``warps_per_block``, ``items_per_lane``, ``device``) are accepted
     and ignored; only the stable method family is supported.
     """
     spec = as_bucket_spec(spec_or_fn, num_buckets)
+    if strict:
+        from repro.multisplit.validate import validate_spec
+        validate_spec(spec, np.asarray(keys))
     method = getattr(method, "value", method)
     if method == "auto":
         from repro.multisplit.api import _pick_auto

@@ -401,6 +401,7 @@ def stream_multisplit(keys, spec_or_fn, num_buckets: int | None = None, *,
                       max_workers: int | None = None, backend=None,
                       out: np.ndarray | None = None,
                       out_values: np.ndarray | None = None,
+                      strict: bool = False,
                       **kwargs) -> MultisplitResult:
     """Out-of-core streamed multisplit, bit-identical to ``engine="fast"``.
 
@@ -429,11 +430,24 @@ def stream_multisplit(keys, spec_or_fn, num_buckets: int | None = None, *,
         (``backend="procpool"`` runs each chunk through the
         shared-memory process pool), and the scratch arena recycled
         across chunks. None of them affect results.
+    strict:
+        Run the :func:`~repro.multisplit.validate.validate_spec`
+        battery on the spec before streaming. Requires an
+        ndarray/memmap key source — chunked sources are one-shot and
+        cannot be sampled without consuming them.
 
     Only the stable method family is supported; the launch-shape
     ``kwargs`` of the emulated engine are accepted and ignored.
     """
     spec = as_bucket_spec(spec_or_fn, num_buckets)
+    if strict:
+        if _is_chunked_source(keys):
+            raise ValueError(
+                "strict=True needs to sample the keys, but chunked sources "
+                "are one-shot; materialize the keys (ndarray/memmap) or "
+                "drop strict=")
+        from repro.multisplit.validate import validate_spec
+        validate_spec(spec, np.asarray(keys))
     method = getattr(method, "value", method)
     if method == "auto":
         from repro.multisplit.api import _pick_auto

@@ -7,6 +7,7 @@ from .bucketing import (
     IdentityBuckets,
     DeltaBuckets,
     PrimeCompositeBuckets,
+    SplitterBuckets,
     CustomBuckets,
 )
 from .block_level import block_level_multisplit
@@ -23,7 +24,13 @@ from .scan_split import (
     recursive_scan_split_multisplit,
     recursive_split_lower_bound_ms,
 )
-from .validate import MultisplitValidationError, check_multisplit, reference_multisplit
+from .validate import (
+    MultisplitValidationError,
+    SpecValidationError,
+    check_multisplit,
+    reference_multisplit,
+    validate_spec,
+)
 from .warp_level import warp_level_multisplit
 from .keys import encode_keys, decode_keys, multisplit_any
 from .sparse_block import sparse_block_multisplit
@@ -33,14 +40,14 @@ from .warp_ops import warp_histogram, warp_offsets, warp_histogram_and_offsets
 __all__ = [
     "Method", "multisplit", "multisplit_kv", "multisplit_batch",
     "BucketSpec", "RangeBuckets", "IdentityBuckets", "DeltaBuckets",
-    "PrimeCompositeBuckets", "CustomBuckets",
+    "PrimeCompositeBuckets", "SplitterBuckets", "CustomBuckets",
     "block_level_multisplit", "direct_multisplit", "warp_level_multisplit",
     "randomized_multisplit", "reduced_bit_multisplit", "sort_based_multisplit",
     "identity_sort_multisplit",
     "scan_split_multisplit", "recursive_scan_split_multisplit",
     "recursive_split_lower_bound_ms",
-    "MultisplitResult", "MultisplitValidationError", "check_multisplit",
-    "reference_multisplit",
+    "MultisplitResult", "MultisplitValidationError", "SpecValidationError",
+    "check_multisplit", "reference_multisplit", "validate_spec",
     "warp_histogram", "warp_offsets", "warp_histogram_and_offsets",
     "encode_keys", "decode_keys", "multisplit_any",
     "sparse_block_multisplit", "bucket_histogram", "BucketHistogram",

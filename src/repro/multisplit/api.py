@@ -138,6 +138,7 @@ def multisplit(keys, spec_or_fn, num_buckets: int | None = None, *,
                backend=None, chunk_bytes: int | None = None,
                out: np.ndarray | None = None,
                out_values: np.ndarray | None = None,
+               strict: bool = False,
                device=None, warps_per_block: int = 8, **kwargs) -> MultisplitResult:
     """Permute ``keys`` (and optionally ``values``) into contiguous buckets.
 
@@ -197,6 +198,17 @@ def multisplit(keys, spec_or_fn, num_buckets: int | None = None, *,
         :class:`~repro.engine.backends.KernelBackend` instance. Every
         backend returns the bit-identical permutation; see
         ``docs/BACKENDS.md``. Rejected with ``engine="emulate"``.
+    strict:
+        Run :func:`~repro.multisplit.validate.validate_spec` — the
+        input-validator battery — on the spec against a bounded sample
+        of the keys before dispatching. Hostile or buggy specs
+        (out-of-range/wrapped ids, lying ``elementwise`` claims,
+        non-determinism) raise
+        :class:`~repro.multisplit.validate.SpecValidationError` up
+        front instead of corrupting shared state. Requires an
+        in-memory/memmap key source (chunked sources are rejected:
+        they are one-shot and cannot be sampled without consuming
+        them).
     device:
         A :class:`~repro.simt.Device`, a ``DeviceSpec``, or ``None``
         (fresh K40c); the emulated-kernel timeline is returned on the
@@ -253,6 +265,15 @@ def multisplit(keys, spec_or_fn, num_buckets: int | None = None, *,
             "backend selects the result-only engines' kernels; pass it with "
             f"engine='fast', 'sharded', 'stream', or 'auto' "
             f"(got engine={requested!r})")
+
+    if strict:
+        if _is_chunked_source(keys):
+            raise ValueError(
+                "strict=True needs to sample the keys, but chunked sources "
+                "are one-shot; materialize the keys (ndarray/memmap) or "
+                "drop strict=")
+        from .validate import validate_spec
+        validate_spec(spec, np.asarray(keys))
 
     reg = get_registry()
     reg.inc("api.multisplit.calls", 1, engine=engine, method=method.value)

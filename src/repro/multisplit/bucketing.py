@@ -15,6 +15,9 @@ Provided specs cover the paper's scenarios:
 * :class:`DeltaBuckets` — ``floor(key / delta)`` bucketing used by
   delta-stepping SSSP.
 * :class:`PrimeCompositeBuckets` — Figure 1's prime/composite example.
+* :class:`SplitterBuckets` — m ranges delimited by m-1 sorted splitters
+  (the sample-sort front end; build one with
+  :meth:`BucketSpec.from_sample`).
 * :class:`CustomBuckets` — wrap any vectorized callable.
 """
 
@@ -22,12 +25,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import get_registry
+
 __all__ = [
     "BucketSpec",
     "RangeBuckets",
     "IdentityBuckets",
     "DeltaBuckets",
     "PrimeCompositeBuckets",
+    "SplitterBuckets",
     "CustomBuckets",
 ]
 
@@ -84,6 +90,116 @@ class BucketSpec:
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(m={self.num_buckets})"
+
+    @classmethod
+    def from_sample(cls, keys, num_buckets: int, *, oversample: int = 32,
+                    recurse_factor: float = 2.0, seed: int = 2016,
+                    engine: str = "auto") -> "SplitterBuckets":
+        """Sample-sort splitters: a load-balanced :class:`SplitterBuckets`.
+
+        The paper's evaluation assumes bucket mappings that spread keys
+        evenly; real traffic is skewed, and a handful of hot buckets
+        serialize the scatter and blow up the per-shard histograms of
+        the sharded/stream engines. Following GPU sample sort (arXiv
+        0909.5649), this samples ``oversample * num_buckets`` keys with
+        a deterministic seed, sorts the sample, and takes its order
+        statistics as splitters, so every bucket receives ~``n/m`` keys
+        regardless of the key distribution.
+
+        One level of recursion guards the tail: the splitters are
+        checked against the *full* input histogram, and if any bucket
+        exceeds ``recurse_factor * n / m`` keys the input is physically
+        grouped once through the stable engines (:func:`multisplit`
+        with a result-only engine) and every bucket is re-sampled in
+        place — oversized buckets at sub-bucket resolution — yielding a
+        weighted sample whose order statistics replace the splitters.
+        Pass ``recurse_factor=float("inf")`` to disable the check.
+
+        A bucket dominated by one repeated key value cannot be split by
+        any elementwise spec; such buckets keep their load and the
+        recursion leaves them alone.
+
+        Emits ``bucketing.skew_ratio`` (max/mean bucket load, labeled
+        ``stage="initial"``/``"final"``) and ``bucketing.resplits``
+        (count of oversized buckets that triggered the second pass).
+        """
+        keys = np.asarray(keys)
+        if keys.ndim != 1:
+            raise ValueError(f"keys must be 1-D, got shape {keys.shape}")
+        m = int(num_buckets)
+        if m < 1:
+            raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+        oversample = int(oversample)
+        if oversample < 1:
+            raise ValueError(f"oversample must be >= 1, got {oversample}")
+        if not recurse_factor > 0:
+            raise ValueError(
+                f"recurse_factor must be positive, got {recurse_factor}")
+        n = keys.size
+        if m == 1:
+            return SplitterBuckets(np.empty(0, dtype=keys.dtype))
+        if n == 0:
+            raise ValueError(
+                "cannot sample splitters from empty keys (num_buckets > 1)")
+
+        reg = get_registry()
+        rng = np.random.default_rng(seed)
+        s = min(n, m * oversample)
+        sample = np.sort(keys if s == n else keys[rng.integers(0, n, s)])
+        splitters = sample[(np.arange(1, m, dtype=np.int64) * s) // m]
+        spec = SplitterBuckets(splitters.copy())
+
+        counts = np.bincount(spec(keys), minlength=m)
+        mean = n / m
+        reg.set_gauge("bucketing.skew_ratio", counts.max() / mean,
+                      stage="initial")
+        threshold = recurse_factor * mean
+        oversized = counts > threshold
+        resplits = int(oversized.sum()) if n > m else 0
+        reg.inc("bucketing.resplits", resplits)
+        if resplits:
+            spec = cls._resample_splitters(keys, spec, counts, rng,
+                                           oversample, engine)
+        if reg.enabled:
+            final = counts if not resplits else np.bincount(spec(keys),
+                                                            minlength=m)
+            reg.set_gauge("bucketing.skew_ratio", final.max() / mean,
+                          stage="final")
+        return spec
+
+    @staticmethod
+    def _resample_splitters(keys, spec, counts, rng, oversample,
+                            engine) -> "SplitterBuckets":
+        """Second sampled pass: group through the stable engines, then
+        re-derive all splitters from a per-bucket weighted sample."""
+        from .api import multisplit  # lazy: api imports this module
+        m = spec.num_buckets
+        n = keys.size
+        res = multisplit(keys, spec, engine=engine)
+        starts = np.asarray(res.bucket_starts)
+        grouped = np.asarray(res.keys)
+        points, weights = [], []
+        for b in range(m):
+            c = int(counts[b])
+            if c == 0:
+                continue
+            seg = grouped[starts[b]:starts[b + 1]]
+            # oversized buckets deserve ceil(c * m / n) sub-buckets and
+            # get sampled at that resolution; the rest keep one
+            deserved = max(1, -(-c * m // n))
+            s_b = min(c, deserved * oversample)
+            pts = np.sort(seg if s_b == c else seg[rng.integers(0, c, s_b)])
+            points.append(pts)
+            weights.append(np.full(s_b, c / s_b))
+        # bucket ranges are disjoint and ascending, so the per-bucket
+        # sorted samples concatenate into one globally sorted weighted
+        # sample; splitters are its weighted order statistics
+        pts = np.concatenate(points)
+        cumw = np.cumsum(np.concatenate(weights))
+        targets = np.arange(1, m, dtype=np.float64) * (n / m)
+        idx = np.minimum(np.searchsorted(cumw, targets, side="left"),
+                         pts.size - 1)
+        return SplitterBuckets(pts[idx].astype(keys.dtype, copy=True))
 
 
 class RangeBuckets(BucketSpec):
@@ -147,7 +263,13 @@ class IdentityBuckets(BucketSpec):
 
 
 class DeltaBuckets(BucketSpec):
-    """``min(key // delta, m-1)``: delta-stepping SSSP bucketing."""
+    """``clip(key // delta, 0, m-1)``: delta-stepping SSSP bucketing.
+
+    Negative keys (relaxed-below-zero tentative distances, sentinel
+    slack values) clamp into bucket 0 — without the clamp,
+    ``floor(key / delta)`` goes negative and the uint32 cast would wrap
+    it into an in-the-billions bucket id with no error.
+    """
 
     elementwise = True
 
@@ -159,7 +281,9 @@ class DeltaBuckets(BucketSpec):
 
     def ids(self, keys: np.ndarray) -> np.ndarray:
         b = np.floor(keys.astype(np.float64) / self.delta).astype(np.int64)
-        return np.minimum(b, self.num_buckets - 1).astype(np.uint32)
+        np.minimum(b, self.num_buckets - 1, out=b)
+        np.maximum(b, 0, out=b)
+        return b.astype(np.uint32)
 
     def eval_into(self, keys: np.ndarray, out: np.ndarray, arena=None) -> None:
         if arena is None:
@@ -170,7 +294,9 @@ class DeltaBuckets(BucketSpec):
         np.floor(f, out=f)
         b = arena.take("spec.i64", n, np.int64)
         np.copyto(b, f, casting="unsafe")
+        # same clamp order as ids(), element for element
         np.minimum(b, self.num_buckets - 1, out=b)
+        np.maximum(b, 0, out=b)
         np.copyto(out, b, casting="unsafe")
 
 
@@ -189,6 +315,11 @@ class PrimeCompositeBuckets(BucketSpec):
     def ids(self, keys: np.ndarray) -> np.ndarray:
         if keys.size == 0:
             return np.zeros(0, dtype=np.uint32)
+        if int(keys.min()) < 0:
+            # raw int64 sieve indexing would wrap negatives to the sieve
+            # tail and silently classify them as whatever sits there
+            raise ValueError(
+                "prime/composite bucketing requires non-negative keys")
         hi = int(keys.max())
         if hi >= self.MAX_DOMAIN:
             raise ValueError(
@@ -200,6 +331,101 @@ class PrimeCompositeBuckets(BucketSpec):
             if sieve[p]:
                 sieve[p * p :: p] = False
         return np.where(sieve[keys.astype(np.int64)], 0, 1).astype(np.uint32)
+
+
+class SplitterBuckets(BucketSpec):
+    """``m`` buckets delimited by ``m - 1`` sorted splitters.
+
+    The sample-sort front end: bucket ``b`` holds the keys ``k`` with
+    ``splitters[b-1] <= k < splitters[b]`` (``np.searchsorted(...,
+    side="right")`` semantics, so a key equal to a splitter lands in
+    the bucket to its right). Ids are inherently in range — no key can
+    map outside ``[0, m)`` — which makes this the safe spec to put in
+    front of the sharded/stream prescans. Build a load-balanced one
+    from data with :meth:`BucketSpec.from_sample`.
+
+    Equal splitters are allowed (they produce empty buckets), which is
+    what sampling yields on heavily duplicated keys.
+    """
+
+    elementwise = True
+
+    def __init__(self, splitters, num_buckets: int | None = None):
+        splitters = np.asarray(splitters)
+        if splitters.ndim != 1:
+            raise ValueError(
+                f"splitters must be 1-D, got shape {splitters.shape}")
+        if splitters.size > 1 and bool((splitters[:-1] > splitters[1:]).any()):
+            raise ValueError("splitters must be sorted ascending")
+        m = splitters.size + 1
+        if num_buckets is not None and int(num_buckets) != m:
+            raise ValueError(
+                f"{splitters.size} splitters delimit {m} buckets, "
+                f"but num_buckets={num_buckets} was requested")
+        # one binary-search probe per level, ~log2(m) per-lane ALU ops
+        super().__init__(m, instruction_cost=max(2, m.bit_length()))
+        self.splitters = splitters
+        self._padded = self._pad(splitters)
+
+    @staticmethod
+    def _pad(splitters: np.ndarray) -> np.ndarray | None:
+        """Power-of-two copy padded with the dtype maximum, for the
+        branchless arena search in :meth:`eval_into`."""
+        L = splitters.size
+        if L == 0 or splitters.dtype.kind not in "iu":
+            return None
+        padded = np.full(1 << (L - 1).bit_length(),
+                         np.iinfo(splitters.dtype).max,
+                         dtype=splitters.dtype)
+        padded[:L] = splitters
+        return padded
+
+    def ids(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys)
+        if self.splitters.size == 0:
+            return np.zeros(keys.shape, dtype=np.uint32)
+        return np.searchsorted(self.splitters, keys,
+                               side="right").astype(np.uint32)
+
+    def eval_into(self, keys: np.ndarray, out: np.ndarray, arena=None) -> None:
+        keys = np.asarray(keys)
+        # the allocation-free path needs identical comparison semantics
+        # to searchsorted: same integer dtype on both sides (floats are
+        # excluded — searchsorted sorts NaN last, less_equal doesn't)
+        if (arena is None or self._padded is None
+                or keys.dtype != self.splitters.dtype):
+            if self.splitters.size == 0:
+                out[...] = 0
+                return
+            return super().eval_into(keys, out)
+        n = keys.size
+        pad = self._padded
+        L = self.splitters.size
+        pos = arena.take("spec.split_pos", n, np.int64)
+        idx = arena.take("spec.split_idx", n, np.int64)
+        tv = arena.take("spec.split_tv", n, pad.dtype)
+        mask = arena.take("spec.split_mask", n, np.bool_)
+        pos.fill(0)
+        # branchless binary search: pos converges to the number of
+        # splitters <= key, bit-identical to searchsorted side="right"
+        step = pad.size >> 1
+        while step:
+            np.add(pos, step - 1, out=idx)
+            np.take(pad, idx, out=tv)
+            np.less_equal(tv, keys, out=mask)
+            np.add(pos, step, out=pos, where=mask)
+            step >>= 1
+        np.take(pad, pos, out=tv)
+        np.less_equal(tv, keys, out=mask)
+        np.add(pos, 1, out=pos, where=mask)
+        # keys equal to the dtype maximum can walk into the padding;
+        # their true rank is exactly L
+        np.minimum(pos, L, out=pos)
+        np.copyto(out, pos, casting="unsafe")
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(m={self.num_buckets}, "
+                f"dtype={self.splitters.dtype})")
 
 
 class CustomBuckets(BucketSpec):
@@ -230,6 +456,11 @@ class CustomBuckets(BucketSpec):
 def as_bucket_spec(spec_or_fn, num_buckets: int | None = None) -> BucketSpec:
     """Coerce a :class:`BucketSpec` or a callable into a spec."""
     if isinstance(spec_or_fn, BucketSpec):
+        if num_buckets is not None and int(num_buckets) != spec_or_fn.num_buckets:
+            raise ValueError(
+                f"num_buckets={num_buckets} does not match "
+                f"{type(spec_or_fn).__name__}.num_buckets="
+                f"{spec_or_fn.num_buckets}")
         return spec_or_fn
     if callable(spec_or_fn):
         if num_buckets is None:

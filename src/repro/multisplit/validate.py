@@ -19,11 +19,26 @@ import numpy as np
 from .bucketing import BucketSpec
 from .result import MultisplitResult
 
-__all__ = ["MultisplitValidationError", "check_multisplit", "reference_multisplit"]
+__all__ = [
+    "MultisplitValidationError",
+    "SpecValidationError",
+    "check_multisplit",
+    "reference_multisplit",
+    "validate_spec",
+]
 
 
 class MultisplitValidationError(AssertionError):
     """An output violated the multisplit contract."""
+
+
+class SpecValidationError(ValueError):
+    """A bucket spec failed the input-validator battery.
+
+    Raised by :func:`validate_spec` (and ``multisplit(strict=True)``)
+    when a spec produces out-of-range / wrapped / non-deterministic ids,
+    or claims to be elementwise but is not.
+    """
 
 
 def reference_multisplit(keys: np.ndarray, spec: BucketSpec,
@@ -40,6 +55,106 @@ def reference_multisplit(keys: np.ndarray, spec: BucketSpec,
     np.cumsum(counts, out=starts[1:])
     values_out = values[order] if values is not None else None
     return keys[order], values_out, starts
+
+
+def _narrow_ids_dtype(num_buckets: int) -> np.dtype:
+    # mirrors the engines' id-buffer narrowing (uint8/uint16/uint32)
+    if num_buckets <= (1 << 8):
+        return np.dtype(np.uint8)
+    if num_buckets <= (1 << 16):
+        return np.dtype(np.uint16)
+    return np.dtype(np.uint32)
+
+
+def validate_spec(spec: BucketSpec, keys: np.ndarray, *,
+                  sample_size: int = 4096, seed: int = 0x5EED) -> None:
+    """Probe ``spec`` for contract violations on a bounded key sample.
+
+    The battery runs every check on a deterministic sample of at most
+    ``sample_size`` keys (always including the extreme key values, so
+    domain bugs on e.g. negative keys can't hide in the tail):
+
+    1. ``ids()`` returns an integer array of the input's shape,
+    2. every id lies in ``[0, num_buckets)``,
+    3. ``eval_into()`` agrees bit-for-bit with ``ids()`` on the
+       narrowed id dtype the engines use, with and without a pooled
+       arena — this is where silent wraps (negative keys cast to
+       uint32) surface,
+    4. a spec claiming ``elementwise=True`` yields the same ids when
+       evaluated chunk-by-chunk, the way the sharded/stream prescans
+       call it,
+    5. two evaluations agree (determinism).
+
+    Raises :class:`SpecValidationError` with a precise description on
+    the first violation.  Specs whose domain rejects some of the sampled
+    keys (a ``ValueError`` from the spec itself, e.g. ``RangeBuckets``)
+    propagate that error unchanged — a clear domain error is already a
+    fail-fast answer.
+    """
+    if not isinstance(spec, BucketSpec):
+        raise TypeError(
+            f"expected a BucketSpec, got {type(spec).__name__}; wrap "
+            "callables via as_bucket_spec(fn, num_buckets)")
+    keys = np.asarray(keys)
+    if keys.ndim != 1:
+        raise SpecValidationError(f"keys must be 1-D, got shape {keys.shape}")
+    m = spec.num_buckets
+    n = keys.size
+    if n <= sample_size:
+        sample = np.ascontiguousarray(keys)
+    else:
+        rng = np.random.default_rng(seed)
+        pick = rng.integers(0, n, sample_size - 2)
+        sample = np.empty(sample_size, dtype=keys.dtype)
+        sample[:-2] = keys[pick]
+        sample[-2] = keys.min()
+        sample[-1] = keys.max()
+
+    ids = np.asarray(spec.ids(sample))
+    if ids.shape != sample.shape:
+        raise SpecValidationError(
+            f"{spec!r}.ids returned shape {ids.shape} for input shape "
+            f"{sample.shape}")
+    if ids.dtype.kind not in "iu":
+        raise SpecValidationError(
+            f"{spec!r}.ids returned non-integer dtype {ids.dtype}")
+    if n:
+        lo, hi = int(ids.min()), int(ids.max())
+        if lo < 0 or hi >= m:
+            raise SpecValidationError(
+                f"{spec!r} produced bucket ids in [{lo}, {hi}] outside "
+                f"[0, {m}): out-of-range or wrapped ids would corrupt "
+                "the scatter")
+
+    # eval_into parity on the narrowed engine dtype, arena and no-arena
+    out = np.empty(sample.size, dtype=_narrow_ids_dtype(m))
+    spec.eval_into(sample, out)
+    if not np.array_equal(out, ids):
+        raise SpecValidationError(
+            f"{spec!r}.eval_into(arena=None) disagrees with ids() on "
+            f"dtype {out.dtype} (wrapped or truncated ids)")
+    from repro.engine.workspace import Workspace  # lazy: engine imports us
+    out.fill(0)
+    spec.eval_into(sample, out, Workspace())
+    if not np.array_equal(out, ids):
+        raise SpecValidationError(
+            f"{spec!r}.eval_into(arena=...) disagrees with ids() on "
+            f"dtype {out.dtype} (wrapped or truncated ids)")
+
+    if spec.elementwise and sample.size >= 2:
+        # the sharded/stream engines evaluate elementwise specs one
+        # shard/chunk at a time; uneven chunks catch positional cheats
+        chunks = np.array_split(sample, min(3, sample.size))
+        chunked = np.concatenate([np.asarray(spec.ids(c)) for c in chunks])
+        if not np.array_equal(chunked, ids):
+            raise SpecValidationError(
+                f"{spec!r} claims elementwise=True but chunked "
+                "evaluation disagrees with whole-array evaluation")
+
+    if not np.array_equal(np.asarray(spec.ids(sample)), ids):
+        raise SpecValidationError(
+            f"{spec!r} is non-deterministic: two ids() evaluations of "
+            "the same sample disagree")
 
 
 def check_multisplit(result: MultisplitResult, keys_in: np.ndarray, spec: BucketSpec,
@@ -93,12 +208,21 @@ def check_multisplit(result: MultisplitResult, keys_in: np.ndarray, spec: Bucket
     if values_in is not None or result.values is not None:
         if result.values is None or values_in is None:
             raise MultisplitValidationError("key-value run missing values on one side")
-        # each (key, value) pair must be preserved
-        pairs_in = np.stack([keys_in.astype(np.int64), np.asarray(values_in, dtype=np.int64)])
-        pairs_out = np.stack([result.keys.astype(np.int64), np.asarray(result.values, dtype=np.int64)])
-        order_in = np.lexsort(pairs_in)
-        order_out = np.lexsort(pairs_out)
-        if not (pairs_in[:, order_in] == pairs_out[:, order_out]).all():
+        # each (key, value) pair must be preserved; lexsort on the
+        # original dtypes — casting through int64 would corrupt uint64
+        # values >= 2^63 and truncate floats, letting the oracle
+        # false-pass (or false-fail) on exactly the pairs it guards
+        values_in_arr = np.asarray(values_in)
+        values_out_arr = np.asarray(result.values)
+        order_in = np.lexsort((values_in_arr, keys_in))
+        order_out = np.lexsort((values_out_arr, result.keys))
+
+        def _eq(a, b):
+            nan_ok = a.dtype.kind == "f" and b.dtype.kind == "f"
+            return np.array_equal(a, b, equal_nan=nan_ok)
+
+        if not (_eq(keys_in[order_in], result.keys[order_out])
+                and _eq(values_in_arr[order_in], values_out_arr[order_out])):
             raise MultisplitValidationError("key-value pairing was not preserved")
 
     stable = result.stable if require_stable is None else require_stable

@@ -34,7 +34,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.multisplit.bucketing import (BucketSpec, DeltaBuckets,
-                                        IdentityBuckets, RangeBuckets)
+                                        IdentityBuckets, RangeBuckets,
+                                        SplitterBuckets)
 
 __all__ = ["Coalescer", "PendingRequest", "spec_batch_key"]
 
@@ -48,6 +49,10 @@ def spec_batch_key(spec: BucketSpec) -> tuple:
         return ("identity", spec.num_buckets)
     if cls is DeltaBuckets:
         return ("delta", spec.num_buckets, spec.delta)
+    if cls is SplitterBuckets:
+        # value-keyed: two requests decoding the same splitters coalesce
+        return ("splitter", spec.num_buckets, spec.splitters.dtype.str,
+                spec.splitters.tobytes())
     # custom/subclassed specs: identity only. Pending requests hold a
     # reference to their spec, so an id() is unique among the specs
     # that can be simultaneously pending.

@@ -29,7 +29,11 @@ and non-finite SSSP distances (unreachable vertices) are encoded as
 
 Spec objects cover the library's elementwise bucketings — ``range``
 (``lo``/``hi`` optional), ``identity``, and ``delta`` (requires
-``delta``) — all taking ``num_buckets``. Custom callables are an
+``delta``), all taking ``num_buckets``, plus ``splitter`` (requires a
+sorted ``splitters`` list; optional ``dtype``, default ``uint32``, and
+optional ``num_buckets`` cross-checked against ``len(splitters) + 1``)
+for sampled load-balanced bucketings built client-side with
+``BucketSpec.from_sample``. Custom callables are an
 in-process-API-only feature; the wire protocol deliberately refuses to
 eval anything.
 """
@@ -42,7 +46,8 @@ import math
 import numpy as np
 
 from repro.multisplit.bucketing import (BucketSpec, DeltaBuckets,
-                                        IdentityBuckets, RangeBuckets)
+                                        IdentityBuckets, RangeBuckets,
+                                        SplitterBuckets)
 
 from .errors import BadRequestError, ServiceError
 
@@ -63,7 +68,7 @@ __all__ = [
 
 OPS = ("ping", "metrics", "multisplit", "sort", "sssp")
 
-_SPEC_KINDS = ("range", "identity", "delta")
+_SPEC_KINDS = ("range", "identity", "delta", "splitter")
 
 
 def parse_request_line(line: bytes) -> dict:
@@ -107,6 +112,18 @@ def spec_from_json(obj) -> BucketSpec:
         raise BadRequestError(
             f"unknown spec kind {kind!r} (expected one of "
             f"{', '.join(_SPEC_KINDS)})")
+    if kind == "splitter":
+        if "splitters" not in obj:
+            raise BadRequestError("splitter spec needs a 'splitters' list")
+        splitters = array_from_json(obj["splitters"],
+                                    dtype=obj.get("dtype", "uint32"),
+                                    what="splitters")
+        nb = obj.get("num_buckets")
+        try:
+            return SplitterBuckets(
+                splitters, None if nb is None else int(nb))
+        except (ValueError, TypeError) as e:
+            raise BadRequestError(f"invalid splitter spec: {e}") from e
     try:
         m = int(obj["num_buckets"])
     except (KeyError, TypeError, ValueError) as e:

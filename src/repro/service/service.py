@@ -49,6 +49,7 @@ from repro.engine import (Workspace, coalesced_multisplit_batch,
                           multisplit_batch)
 from repro.multisplit.api import Method, multisplit
 from repro.multisplit.bucketing import as_bucket_spec
+from repro.multisplit.validate import SpecValidationError, validate_spec
 from repro.obs import MetricsRegistry, get_registry, metrics_enabled, enable_metrics, disable_metrics
 
 from .coalescer import Coalescer, PendingRequest, spec_batch_key
@@ -216,9 +217,18 @@ class ReproService:
                          *, values=None, method: str = "auto"):
         """Coalesced multisplit; resolves to a
         :class:`~repro.multisplit.result.MultisplitResult`."""
-        spec = as_bucket_spec(spec_or_fn, num_buckets)
+        try:
+            spec = as_bucket_spec(spec_or_fn, num_buckets)
+        except ValueError as e:
+            raise BadRequestError(str(e)) from e
         method = Method(method).value
         keys = self._as_array(keys, "keys")
+        # fail fast before the request enters a shared coalescing
+        # window: a wrapped/out-of-range spec must not corrupt a batch
+        try:
+            validate_spec(spec, keys)
+        except (SpecValidationError, ValueError) as e:
+            raise BadRequestError(f"spec failed validation: {e}") from e
         if values is not None:
             values = self._as_array(values, "values")
             if values.shape != keys.shape:

@@ -10,6 +10,7 @@ from repro.multisplit.bucketing import (
     IdentityBuckets,
     DeltaBuckets,
     PrimeCompositeBuckets,
+    SplitterBuckets,
     CustomBuckets,
     as_bucket_spec,
 )
@@ -165,6 +166,9 @@ class TestEvalInto:
         DeltaBuckets(0.25, 4),
         PrimeCompositeBuckets(),
         CustomBuckets(lambda k: np.asarray(k) % 5, 5, elementwise=True),
+        SplitterBuckets(np.array([100, 5000, 5000, 1 << 19], dtype=np.uint32)),
+        SplitterBuckets(np.array([1 << 18], dtype=np.uint32)),
+        SplitterBuckets(np.empty(0, dtype=np.uint32)),
     ]
 
     @staticmethod

@@ -1,0 +1,328 @@
+"""The input-validator battery and its three satellite bugfixes.
+
+``validate_spec`` / ``multisplit(strict=True)`` must catch hostile or
+buggy specs (out-of-range, wrapped, lying ``elementwise``,
+non-deterministic) before they corrupt shared state, on all four
+engines; degenerate-but-legal inputs (empty, m=1, everything in one
+bucket, empty buckets) must keep working everywhere. The regression
+tests at the bottom pin the negative-key ``DeltaBuckets`` /
+``PrimeCompositeBuckets`` fixes and the ``check_multisplit`` kv-pairing
+dtype fix — each failed before its fix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import Workspace, sharded_multisplit, stream_multisplit
+from repro.multisplit import (
+    BucketSpec,
+    CustomBuckets,
+    DeltaBuckets,
+    IdentityBuckets,
+    PrimeCompositeBuckets,
+    RangeBuckets,
+    SplitterBuckets,
+    SpecValidationError,
+    check_multisplit,
+    multisplit,
+    validate_spec,
+)
+from repro.multisplit.result import MultisplitResult
+from repro.multisplit.validate import MultisplitValidationError
+
+ENGINES = ("emulate", "fast", "sharded", "stream")
+
+
+def _keys(n=2048, seed=0):
+    return np.random.default_rng(seed).integers(0, 1 << 20, n,
+                                                dtype=np.uint32)
+
+
+class _RawSpec(BucketSpec):
+    """A spec with NO self-validation — what a hostile/buggy third-party
+    subclass looks like (CustomBuckets guards its own ids, so malice has
+    to come in as a raw BucketSpec)."""
+
+    elementwise = True
+
+    def __init__(self, fn, m):
+        super().__init__(m)
+        self._fn = fn
+
+    def ids(self, keys):
+        return self._fn(np.asarray(keys))
+
+
+class _LyingElementwise(CustomBuckets):
+    """Claims elementwise=True but ids depend on array position."""
+
+    def __init__(self, m=4):
+        super().__init__(lambda k: np.arange(np.asarray(k).size,
+                                             dtype=np.uint32) % m,
+                         m, elementwise=True)
+
+
+class _NonDeterministic(CustomBuckets):
+    def __init__(self, m=4):
+        self.calls = 0
+
+        def fn(k):
+            self.calls += 1
+            return np.full(np.asarray(k).size, self.calls % m,
+                           dtype=np.uint32)
+
+        super().__init__(fn, m, elementwise=True)
+
+
+class TestValidateSpec:
+    def test_good_specs_pass(self):
+        keys = _keys()
+        for spec in (RangeBuckets(8, 0, 1 << 20), IdentityBuckets(1 << 20),
+                     DeltaBuckets(1000.0, 16),
+                     SplitterBuckets(np.array([100, 10_000], dtype=np.uint32)),
+                     CustomBuckets(lambda k: np.asarray(k) % 5, 5,
+                                   elementwise=True)):
+            validate_spec(spec, keys)
+
+    def test_out_of_range_ids(self):
+        spec = _RawSpec(lambda k: np.full(k.size, 4, dtype=np.uint32), 4)
+        with pytest.raises(SpecValidationError, match="out-of-range|outside"):
+            validate_spec(spec, _keys())
+
+    def test_negative_ids(self):
+        spec = _RawSpec(lambda k: np.full(k.size, -1, dtype=np.int64), 4)
+        with pytest.raises(SpecValidationError, match="outside"):
+            validate_spec(spec, _keys())
+
+    def test_wrapped_ids_via_eval_into(self):
+        """A spec whose arena path disagrees with ids() is caught."""
+
+        class Wrapping(CustomBuckets):
+            def __init__(self):
+                super().__init__(lambda k: np.asarray(k) % 4, 4,
+                                 elementwise=True)
+
+            def eval_into(self, keys, out, arena=None):
+                if arena is None:
+                    return super().eval_into(keys, out)
+                out[...] = (np.asarray(keys) % 4 + 1) % 4  # wrapped
+
+        with pytest.raises(SpecValidationError, match="eval_into"):
+            validate_spec(Wrapping(), _keys())
+
+    def test_lying_elementwise(self):
+        with pytest.raises(SpecValidationError, match="elementwise"):
+            validate_spec(_LyingElementwise(), _keys())
+
+    def test_non_deterministic(self):
+        with pytest.raises(SpecValidationError):
+            validate_spec(_NonDeterministic(), _keys())
+
+    def test_non_integer_ids(self):
+        spec = _RawSpec(lambda k: np.asarray(k, dtype=np.float64) % 4, 4)
+        with pytest.raises(SpecValidationError, match="non-integer"):
+            validate_spec(spec, _keys())
+
+    def test_wrong_shape_ids(self):
+        spec = _RawSpec(lambda k: np.zeros(3, dtype=np.uint32), 4)
+        with pytest.raises(SpecValidationError, match="shape"):
+            validate_spec(spec, _keys())
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(TypeError, match="BucketSpec"):
+            validate_spec(lambda k: k % 4, _keys())
+
+    def test_2d_keys_rejected(self):
+        with pytest.raises(SpecValidationError, match="1-D"):
+            validate_spec(RangeBuckets(4), _keys().reshape(-1, 2))
+
+    def test_extremes_always_sampled(self):
+        """With n far above sample_size, a domain bug sitting on a single
+        extreme key must still be caught."""
+        keys = np.zeros(100_000, dtype=np.int64)
+        keys[-1] = -5  # one hostile key in a sea of zeros
+        spec = _RawSpec(
+            lambda k: np.where(k < 0, 99, 0).astype(np.uint32), 8)
+        with pytest.raises(SpecValidationError, match="outside"):
+            validate_spec(spec, keys, sample_size=256)
+
+    def test_empty_keys_pass(self):
+        validate_spec(RangeBuckets(4), np.empty(0, dtype=np.uint32))
+
+
+class TestStrictMode:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_good_spec_passes_strict(self, engine):
+        keys = _keys()
+        res = multisplit(keys, RangeBuckets(8, 0, 1 << 20), engine=engine,
+                         strict=True)
+        check_multisplit(res, keys, RangeBuckets(8, 0, 1 << 20))
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_lying_elementwise_caught(self, engine):
+        with pytest.raises(SpecValidationError, match="elementwise"):
+            multisplit(_keys(), _LyingElementwise(), engine=engine,
+                       strict=True)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_out_of_range_caught(self, engine):
+        spec = _RawSpec(lambda k: np.full(k.size, 7, dtype=np.uint32), 4)
+        with pytest.raises(SpecValidationError):
+            multisplit(_keys(), spec, engine=engine, strict=True)
+
+    def test_engine_entrypoints_take_strict(self):
+        keys = _keys()
+        sharded_multisplit(keys, RangeBuckets(8, 0, 1 << 20), strict=True)
+        stream_multisplit(keys, RangeBuckets(8, 0, 1 << 20), strict=True)
+        with pytest.raises(SpecValidationError):
+            sharded_multisplit(keys, _LyingElementwise(), strict=True)
+        with pytest.raises(SpecValidationError):
+            stream_multisplit(keys, _LyingElementwise(), strict=True)
+
+    def test_chunked_source_rejected_under_strict(self):
+        chunks = lambda: iter([_keys(256), _keys(256, seed=1)])  # noqa: E731
+        with pytest.raises(ValueError, match="strict"):
+            multisplit(chunks, RangeBuckets(8, 0, 1 << 20), engine="stream",
+                       strict=True)
+        with pytest.raises(ValueError, match="strict"):
+            stream_multisplit(chunks, RangeBuckets(8, 0, 1 << 20),
+                              strict=True)
+
+
+class TestDegenerateInputs:
+    """Degenerate-but-legal inputs keep working on all four engines."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_empty_input(self, engine):
+        keys = np.empty(0, dtype=np.uint32)
+        res = multisplit(keys, RangeBuckets(8), engine=engine, strict=True)
+        check_multisplit(res, keys, RangeBuckets(8))
+        assert res.keys.size == 0
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_m1(self, engine):
+        keys = _keys(512)
+        spec = RangeBuckets(1, 0, 1 << 20)
+        res = multisplit(keys, spec, engine=engine, strict=True)
+        check_multisplit(res, keys, spec)
+        np.testing.assert_array_equal(res.keys, keys)  # stable ⇒ unchanged
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_all_keys_one_bucket_with_empties(self, engine):
+        # every key lands in bucket 2 of 8: buckets 0,1,3..7 are empty
+        keys = np.full(512, 300, dtype=np.uint32)
+        spec = RangeBuckets(8, 0, 1024)
+        res = multisplit(keys, spec, engine=engine, strict=True)
+        check_multisplit(res, keys, spec)
+        starts = np.asarray(res.bucket_starts)
+        assert (np.diff(starts) == [0, 0, 512, 0, 0, 0, 0, 0]).all()
+
+    def test_num_buckets_mismatch_rejected(self):
+        spec = RangeBuckets(8)
+        with pytest.raises(ValueError, match="num_buckets=16 does not match"):
+            multisplit(_keys(), spec, 16)
+        for engine in ("fast", "sharded", "stream"):
+            with pytest.raises(ValueError, match="does not match"):
+                multisplit(_keys(), spec, 4, engine=engine)
+
+
+class TestDeltaBucketsNegativeKeys:
+    """Regression: negative keys used to wrap to in-the-billions ids."""
+
+    def test_ids_clamped_at_zero(self):
+        spec = DeltaBuckets(1.0, 4)
+        keys = np.array([-100.0, -0.5, 0.0, 1.5, 99.0], dtype=np.float64)
+        assert spec(keys).tolist() == [0, 0, 0, 1, 3]
+        assert int(spec(keys).max()) < 4  # no wrapped giant ids
+
+    def test_eval_into_matches_ids_bit_identically(self):
+        spec = DeltaBuckets(2.5, 16)
+        rng = np.random.default_rng(1)
+        keys = rng.normal(0.0, 30.0, 4096)  # plenty of negatives
+        out = np.full(keys.size, 255, dtype=np.uint8)
+        spec.eval_into(keys, out, Workspace())
+        np.testing.assert_array_equal(out, spec.ids(keys))
+
+    def test_validate_spec_accepts_negative_domain(self):
+        keys = np.array([-7.0, -1.0, 0.0, 3.0], dtype=np.float64)
+        validate_spec(DeltaBuckets(1.0, 4), keys)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_sssp_style_multisplit(self, engine):
+        """Delta-stepping relaxations produce tentative distances below
+        the current window; the full pipeline must survive them."""
+        rng = np.random.default_rng(2)
+        keys = rng.normal(5.0, 10.0, 3000)  # ~30% negative
+        values = np.arange(keys.size, dtype=np.uint32)
+        spec = DeltaBuckets(2.0, 8)
+        res = multisplit(keys, spec, values=values, engine=engine,
+                         strict=True)
+        check_multisplit(res, keys, spec, values)
+
+
+class TestPrimeCompositeNegativeKeys:
+    """Regression: negative keys used to hit Python negative sieve
+    indexing and silently classify as the sieve tail."""
+
+    def test_negative_rejected(self):
+        spec = PrimeCompositeBuckets()
+        with pytest.raises(ValueError, match="non-negative"):
+            spec(np.array([-1, 2, 3], dtype=np.int64))
+
+    def test_non_negative_still_fine(self):
+        spec = PrimeCompositeBuckets()
+        ids = spec(np.array([0, 1, 2, 3, 4, 97], dtype=np.int64))
+        assert int(ids.max()) < spec.num_buckets
+
+
+class TestCheckMultisplitKvDtypes:
+    """Regression: the kv-pairing check used to cast values through
+    int64, corrupting uint64 >= 2^63 and truncating floats."""
+
+    def _result(self, keys, spec, values):
+        from repro.multisplit.validate import reference_multisplit
+        k, v, starts = reference_multisplit(keys, spec, values)
+        return MultisplitResult(keys=k, bucket_starts=starts,
+                                method="block", num_buckets=spec.num_buckets,
+                                timeline=None, values=v)
+
+    def test_uint64_values_above_2_63_roundtrip(self):
+        keys = np.array([3, 1, 2, 0], dtype=np.uint32)
+        values = np.array([2**63, 2**63 + 1, 2**64 - 1, 5], dtype=np.uint64)
+        spec = IdentityBuckets(4)
+        res = self._result(keys, spec, values)
+        check_multisplit(res, keys, spec, values)  # raised/overflowed before
+
+    def test_float_value_corruption_detected(self):
+        """0.5 vs 0.25 both truncate to int64 0 — the old check could
+        not see them swapped across keys; the fixed one must."""
+        keys = np.array([0, 1], dtype=np.uint32)
+        values = np.array([0.5, 0.25], dtype=np.float64)
+        spec = IdentityBuckets(2)
+        good = self._result(keys, spec, values)
+        check_multisplit(good, keys, spec, values)
+        bad = MultisplitResult(
+            keys=good.keys, bucket_starts=good.bucket_starts,
+            method="block", num_buckets=2, timeline=None,
+            values=good.values[[1, 0]])  # swap the two sub-int values
+        with pytest.raises(MultisplitValidationError, match="pairing"):
+            check_multisplit(bad, keys, spec, values, require_stable=False)
+
+    def test_uint64_value_corruption_detected(self):
+        keys = np.array([0, 1], dtype=np.uint32)
+        values = np.array([2**63, 2**63 + 2**32], dtype=np.uint64)
+        spec = IdentityBuckets(2)
+        good = self._result(keys, spec, values)
+        bad = MultisplitResult(
+            keys=good.keys, bucket_starts=good.bucket_starts,
+            method="block", num_buckets=2, timeline=None,
+            values=good.values[[1, 0]])
+        with pytest.raises(MultisplitValidationError, match="pairing"):
+            check_multisplit(bad, keys, spec, values, require_stable=False)
+
+    def test_nan_float_values_roundtrip(self):
+        keys = np.array([1, 0, 1], dtype=np.uint32)
+        values = np.array([np.nan, 2.5, np.nan], dtype=np.float64)
+        spec = IdentityBuckets(2)
+        res = self._result(keys, spec, values)
+        check_multisplit(res, keys, spec, values, require_stable=False)

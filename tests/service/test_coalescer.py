@@ -36,6 +36,18 @@ class TestSpecBatchKey:
         assert spec_batch_key(RangeBuckets(16)) != spec_batch_key(IdentityBuckets(16))
         assert spec_batch_key(DeltaBuckets(2.0, 4)) != spec_batch_key(DeltaBuckets(3.0, 4))
 
+    def test_splitter_specs_key_by_value(self):
+        from repro.multisplit.bucketing import SplitterBuckets
+        sp = np.array([10, 20, 30], dtype=np.uint32)
+        # two independently decoded requests with the same splitters
+        # must land in the same coalescing window
+        assert spec_batch_key(SplitterBuckets(sp)) == \
+            spec_batch_key(SplitterBuckets(sp.copy()))
+        assert spec_batch_key(SplitterBuckets(sp)) != \
+            spec_batch_key(SplitterBuckets(sp.astype(np.uint64)))
+        assert spec_batch_key(SplitterBuckets(sp)) != \
+            spec_batch_key(SplitterBuckets(sp[:2]))
+
     def test_custom_specs_key_by_identity(self):
         a = CustomBuckets(lambda k: k % 4, 4)
         b = CustomBuckets(lambda k: k % 4, 4)

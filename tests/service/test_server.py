@@ -52,6 +52,28 @@ class TestProtocolHelpers:
         spec = spec_from_json({"kind": "delta", "num_buckets": 8, "delta": 2.5})
         assert spec.delta == 2.5
 
+    def test_splitter_spec_round_trip(self):
+        spec = spec_from_json({"kind": "splitter", "splitters": [10, 20, 30]})
+        assert spec.num_buckets == 4
+        assert spec.splitters.dtype == np.dtype("uint32")
+        assert spec(np.array([5, 10, 25, 99], dtype=np.uint32)).tolist() == \
+            [0, 1, 2, 3]
+        spec = spec_from_json({"kind": "splitter", "splitters": [100],
+                               "dtype": "uint64", "num_buckets": 2})
+        assert spec.splitters.dtype == np.dtype("uint64")
+
+    def test_splitter_spec_rejections(self):
+        with pytest.raises(BadRequestError, match="splitters"):
+            spec_from_json({"kind": "splitter"})
+        with pytest.raises(BadRequestError, match="sorted"):
+            spec_from_json({"kind": "splitter", "splitters": [5, 3]})
+        with pytest.raises(BadRequestError, match="num_buckets"):
+            spec_from_json({"kind": "splitter", "splitters": [1, 2],
+                            "num_buckets": 7})
+        with pytest.raises(BadRequestError, match="dtype"):
+            spec_from_json({"kind": "splitter", "splitters": [1],
+                            "dtype": "complex-nonsense"})
+
     def test_spec_rejects_unknown_kind_and_missing_fields(self):
         with pytest.raises(BadRequestError):
             spec_from_json({"kind": "eval", "num_buckets": 4})

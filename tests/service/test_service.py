@@ -5,10 +5,10 @@ import asyncio
 import numpy as np
 import pytest
 
-from repro.multisplit import RangeBuckets, multisplit
+from repro.multisplit import CustomBuckets, RangeBuckets, SplitterBuckets, multisplit
 from repro.obs import MetricsRegistry, get_registry
-from repro.service import (ReproService, RequestTimeoutError, ServiceClosedError,
-                           ServiceConfig)
+from repro.service import (BadRequestError, ReproService, RequestTimeoutError,
+                           ServiceClosedError, ServiceConfig)
 
 
 def keys_of(n, seed=0):
@@ -17,6 +17,44 @@ def keys_of(n, seed=0):
 
 
 class TestMultisplitRoute:
+    def test_hostile_spec_rejected_before_coalescing(self):
+        """A spec that would emit out-of-range ids must 400 up front,
+        never reach a shared batch window."""
+
+        class Hostile(CustomBuckets):
+            def __init__(self):
+                super().__init__(lambda k: np.asarray(k) % 4, 4,
+                                 elementwise=True)
+
+            def ids(self, keys):  # bypass CustomBuckets' own guard
+                return np.full(np.asarray(keys).size, 9, dtype=np.uint32)
+
+        async def scenario():
+            async with ReproService(ServiceConfig(workers=1)) as svc:
+                with pytest.raises(BadRequestError, match="validation"):
+                    await svc.multisplit(keys_of(64), Hostile())
+                # mismatched num_buckets is a 400 too, not a crash
+                with pytest.raises(BadRequestError, match="num_buckets"):
+                    await svc.multisplit(keys_of(64), RangeBuckets(8), 16)
+        asyncio.run(scenario())
+
+    def test_splitter_spec_requests_coalesce_and_match(self):
+        spec = SplitterBuckets(
+            np.array([1 << 28, 1 << 30, 1 << 31], dtype=np.uint32))
+
+        async def scenario():
+            cfg = ServiceConfig(max_batch=4, max_wait_ms=20.0, workers=1)
+            async with ReproService(cfg) as svc:
+                batch = [keys_of(200 + i, seed=i) for i in range(4)]
+                return await asyncio.gather(
+                    *[svc.multisplit(k, spec) for k in batch]), batch
+        results, batch = asyncio.run(scenario())
+        for k, res in zip(batch, results):
+            ref = multisplit(k, spec, engine="fast")
+            assert np.array_equal(res.keys, ref.keys)
+            assert np.array_equal(np.asarray(res.bucket_starts),
+                                  np.asarray(ref.bucket_starts))
+
     def test_coalesced_responses_match_direct_calls(self):
         async def scenario():
             cfg = ServiceConfig(max_batch=8, max_wait_ms=20.0, workers=1)
